@@ -1,0 +1,242 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * MCReg history length / reducer (paper §4.1: "more complex
+//!   configurations, involving queues … and more complex functions");
+//! * the Preventive State on/off;
+//! * the MT term on/off in the Barrier;
+//! * STALL vs FLUSH response actions;
+//! * L2 bank-count sensitivity of the contention model.
+//!
+//! Each bench ALSO prints the measured throughput of its variants once,
+//! so `cargo bench` leaves an ablation record next to the timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smtsim_core::{SimConfig, Simulator, Workload};
+use smtsim_policy::mflush::McRegReducer;
+use smtsim_policy::PolicyKind;
+use std::sync::Once;
+
+const CYCLES: u64 = 4_000;
+const REPORT_CYCLES: u64 = 40_000;
+
+fn run(workload: &str, policy: PolicyKind, cycles: u64) -> f64 {
+    let w = Workload::by_name(workload).unwrap();
+    Simulator::build(&SimConfig::for_workload(w, policy).with_cycles(cycles))
+        .run()
+        .throughput()
+}
+
+fn run_banks(workload: &str, banks: u32, cycles: u64) -> f64 {
+    let w = Workload::by_name(workload).unwrap();
+    let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount).with_cycles(cycles);
+    cfg.mem.l2_banks = banks;
+    Simulator::build(&cfg).run().throughput()
+}
+
+fn run_clusters(workload: &str, clusters: u32, policy: PolicyKind, cycles: u64) -> f64 {
+    let w = Workload::by_name(workload).unwrap();
+    let mut cfg = SimConfig::for_workload(w, policy).with_cycles(cycles);
+    cfg.mem.l2_clusters = clusters;
+    Simulator::build(&cfg).run().throughput()
+}
+
+fn run_prefetch(workload: &str, policy: PolicyKind, cycles: u64) -> f64 {
+    let w = Workload::by_name(workload).unwrap();
+    let mut cfg = SimConfig::for_workload(w, policy).with_cycles(cycles);
+    cfg.mem.next_line_prefetch = true;
+    Simulator::build(&cfg).run().throughput()
+}
+
+static REPORT: Once = Once::new();
+
+fn print_report() {
+    REPORT.call_once(|| {
+        println!("\n== Ablation report ({REPORT_CYCLES}-cycle runs on 8W3) ==");
+        let mcreg = |history, reducer| PolicyKind::MflushCustom {
+            mcreg_history: history,
+            mcreg_reducer: reducer,
+            preventive: true,
+            mt_enabled: true,
+        };
+        println!(
+            "MCReg history 1/Last (paper): {:.4}",
+            run("8W3", PolicyKind::Mflush, REPORT_CYCLES)
+        );
+        println!(
+            "MCReg history 4/Mean:         {:.4}",
+            run("8W3", mcreg(4, McRegReducer::Mean), REPORT_CYCLES)
+        );
+        println!(
+            "MCReg history 4/Max:          {:.4}",
+            run("8W3", mcreg(4, McRegReducer::Max), REPORT_CYCLES)
+        );
+        println!(
+            "MFLUSH w/o preventive state:  {:.4}",
+            run(
+                "8W3",
+                PolicyKind::MflushCustom {
+                    mcreg_history: 1,
+                    mcreg_reducer: McRegReducer::Last,
+                    preventive: false,
+                    mt_enabled: true,
+                },
+                REPORT_CYCLES
+            )
+        );
+        println!(
+            "MFLUSH w/o MT term:           {:.4}",
+            run(
+                "8W3",
+                PolicyKind::MflushCustom {
+                    mcreg_history: 1,
+                    mcreg_reducer: McRegReducer::Last,
+                    preventive: true,
+                    mt_enabled: false,
+                },
+                REPORT_CYCLES
+            )
+        );
+        println!(
+            "STALL-S30 vs FLUSH-S30:       {:.4} vs {:.4}",
+            run("8W3", PolicyKind::StallSpec(30), REPORT_CYCLES),
+            run("8W3", PolicyKind::FlushSpec(30), REPORT_CYCLES)
+        );
+        for banks in [1u32, 2, 4, 8] {
+            println!(
+                "ICOUNT with {banks} L2 bank(s):     {:.4}",
+                run_banks("8W3", banks, REPORT_CYCLES)
+            );
+        }
+        println!(
+            "ADTS adaptive (related work): {:.4}",
+            run("8W3", PolicyKind::Adts, REPORT_CYCLES)
+        );
+        println!(
+            "DCRA (related work [3]):      {:.4}",
+            run("8W3", PolicyKind::Dcra, REPORT_CYCLES)
+        );
+        println!(
+            "FLUSH-ADAPT (hill-climbed):   {:.4}",
+            run("8W3", PolicyKind::FlushAdaptive, REPORT_CYCLES)
+        );
+        println!(
+            "FLUSH-LMP (miss predictor):   {:.4}",
+            run("8W3", PolicyKind::FlushMissPredict, REPORT_CYCLES)
+        );
+        for clusters in [1u32, 2, 4] {
+            println!(
+                "MFLUSH with {clusters} L2 cluster(s): {:.4}",
+                run_clusters("8W3", clusters, PolicyKind::Mflush, REPORT_CYCLES)
+            );
+        }
+        println!(
+            "ICOUNT + next-line prefetch:  {:.4} (vs {:.4})",
+            run_prefetch("8W3", PolicyKind::Icount, REPORT_CYCLES),
+            run("8W3", PolicyKind::Icount, REPORT_CYCLES)
+        );
+        println!();
+    });
+}
+
+fn ablation_mcreg(c: &mut Criterion) {
+    print_report();
+    let mut g = c.benchmark_group("ablation_mcreg");
+    g.bench_function("history1_last", |b| {
+        b.iter(|| run("8W3", PolicyKind::Mflush, CYCLES))
+    });
+    g.bench_function("history4_mean", |b| {
+        b.iter(|| {
+            run(
+                "8W3",
+                PolicyKind::MflushCustom {
+                    mcreg_history: 4,
+                    mcreg_reducer: McRegReducer::Mean,
+                    preventive: true,
+                    mt_enabled: true,
+                },
+                CYCLES,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn ablation_preventive(c: &mut Criterion) {
+    c.bench_function("ablation_no_preventive", |b| {
+        b.iter(|| {
+            run(
+                "8W3",
+                PolicyKind::MflushCustom {
+                    mcreg_history: 1,
+                    mcreg_reducer: McRegReducer::Last,
+                    preventive: false,
+                    mt_enabled: true,
+                },
+                CYCLES,
+            )
+        })
+    });
+}
+
+fn ablation_mt(c: &mut Criterion) {
+    c.bench_function("ablation_no_mt", |b| {
+        b.iter(|| {
+            run(
+                "8W3",
+                PolicyKind::MflushCustom {
+                    mcreg_history: 1,
+                    mcreg_reducer: McRegReducer::Last,
+                    preventive: true,
+                    mt_enabled: false,
+                },
+                CYCLES,
+            )
+        })
+    });
+}
+
+fn ablation_stall(c: &mut Criterion) {
+    c.bench_function("ablation_stall_vs_flush", |b| {
+        b.iter(|| {
+            (
+                run("8W3", PolicyKind::StallSpec(30), CYCLES),
+                run("8W3", PolicyKind::FlushSpec(30), CYCLES),
+            )
+        })
+    });
+}
+
+fn ablation_clusters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_l2_clusters");
+    for clusters in [1u32, 2] {
+        g.bench_function(format!("{clusters}clusters"), |b| {
+            b.iter(|| run_clusters("8W3", clusters, PolicyKind::Mflush, CYCLES))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_prefetch(c: &mut Criterion) {
+    c.bench_function("ablation_next_line_prefetch", |b| {
+        b.iter(|| run_prefetch("8W3", PolicyKind::Icount, CYCLES))
+    });
+}
+
+fn ablation_banks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_l2_banks");
+    for banks in [2u32, 4, 8] {
+        g.bench_function(format!("{banks}banks"), |b| {
+            b.iter(|| run_banks("8W3", banks, CYCLES))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_mcreg, ablation_preventive, ablation_mt,
+              ablation_stall, ablation_banks, ablation_clusters,
+              ablation_prefetch
+}
+criterion_main!(ablations);

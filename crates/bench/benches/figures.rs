@@ -1,0 +1,83 @@
+//! Criterion benchmarks: one per paper table/figure.
+//!
+//! Each benchmark measures the cost of regenerating (a scaled-down
+//! version of) the corresponding figure, and doubles as a performance
+//! regression guard for the simulator itself. The printed figures come
+//! from the `figures` binary; these benches exercise identical code.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smtsim_bench as figs;
+use smtsim_core::{SimConfig, Simulator, Workload};
+use smtsim_policy::PolicyKind;
+
+/// Cycle budget for benchmarked figure regenerations (small but
+/// non-trivial; the binary uses the full default).
+const BENCH_CYCLES: u64 = 4_000;
+
+fn bench_single_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    for (wl, label) in [("2W1", "1core"), ("4W1", "2core"), ("8W1", "4core")] {
+        g.bench_with_input(BenchmarkId::new("icount", label), &wl, |b, wl| {
+            let w = Workload::by_name(wl).unwrap();
+            b.iter(|| {
+                Simulator::build(
+                    &SimConfig::for_workload(w, PolicyKind::Icount).with_cycles(BENCH_CYCLES),
+                )
+                .run()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mflush", label), &wl, |b, wl| {
+            let w = Workload::by_name(wl).unwrap();
+            b.iter(|| {
+                Simulator::build(
+                    &SimConfig::for_workload(w, PolicyKind::Mflush).with_cycles(BENCH_CYCLES),
+                )
+                .run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_singlecore", |b| {
+        b.iter(|| figs::fig2(BENCH_CYCLES, 0))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_multicore", |b| b.iter(|| figs::fig3(BENCH_CYCLES, 0)));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_l2hit", |b| b.iter(|| figs::fig4(BENCH_CYCLES, 0)));
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_dm_sweep", |b| b.iter(|| figs::fig5(BENCH_CYCLES, 0)));
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_throughput", |b| b.iter(|| figs::fig8(BENCH_CYCLES, 0)));
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_energy", |b| b.iter(|| figs::fig11(BENCH_CYCLES, 0)));
+}
+
+fn bench_static_tables(c: &mut Criterion) {
+    // Figs 1, 6, 7, 9, 10 are static renders; cheap, but guarded too.
+    c.bench_function("fig1_parameters", |b| b.iter(figs::fig1));
+    c.bench_function("fig6_operational_env", |b| b.iter(figs::fig6));
+    c.bench_function("fig7_mcreg", |b| b.iter(figs::fig7));
+    c.bench_function("fig9_energy_distribution", |b| b.iter(figs::fig9));
+    c.bench_function("fig10_ecf", |b| b.iter(figs::fig10));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_runs, bench_fig2, bench_fig3, bench_fig4,
+              bench_fig5, bench_fig8, bench_fig11, bench_static_tables
+}
+criterion_main!(benches);

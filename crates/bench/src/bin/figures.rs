@@ -1,0 +1,76 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p smtsim-bench --bin figures -- all
+//! cargo run --release -p smtsim-bench --bin figures -- fig8 --cycles 300000
+//! ```
+
+use smtsim_bench as figs;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut cycles = 0u64;
+    let mut workers = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cycles" => {
+                cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cycles N");
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers N");
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".into());
+    }
+    let all = which.iter().any(|w| w == "all");
+    let want = |name: &str| all || which.iter().any(|w| w == name);
+
+    if want("fig1") {
+        println!("{}", figs::fig1());
+    }
+    if want("fig2") {
+        println!("{}", figs::fig2(cycles, workers).text);
+    }
+    if want("fig3") {
+        println!("{}", figs::fig3(cycles, workers).text);
+    }
+    if want("fig4") {
+        println!("{}", figs::fig4(cycles, workers).text);
+    }
+    if want("fig5") {
+        println!("{}", figs::fig5(cycles, workers).text);
+    }
+    if want("fig6") {
+        println!("{}", figs::fig6());
+    }
+    if want("fig7") {
+        println!("{}", figs::fig7());
+    }
+    if want("fig8") {
+        println!("{}", figs::fig8(cycles, workers).text);
+    }
+    if want("fig9") {
+        println!("{}", figs::fig9());
+    }
+    if want("fig10") {
+        println!("{}", figs::fig10());
+    }
+    if want("fig11") {
+        println!("{}", figs::fig11(cycles, workers).text);
+    }
+    // Beyond the paper: pass `extensions` explicitly (not part of `all`).
+    if which.iter().any(|w| w == "extensions") {
+        println!("{}", figs::extension_study(cycles, workers).text);
+    }
+}

@@ -1,0 +1,28 @@
+//! # smtsim-bench — figure and table regeneration for the MFLUSH paper
+//!
+//! One function per table/figure of the paper's evaluation. Each
+//! returns structured data *and* renders the same rows/series the paper
+//! reports, so the `figures` binary, the Criterion benches and the
+//! integration tests all share a single implementation.
+//!
+//! | Paper artefact | Function |
+//! |----------------|----------|
+//! | Fig. 1 (parameters + workloads) | [`figures::fig1`] |
+//! | Fig. 2 (single-core ICOUNT vs FLUSH) | [`figures::fig2`] |
+//! | Fig. 3 (multicore average throughput) | [`figures::fig3`] |
+//! | Fig. 4 (L2 hit time distribution) | [`figures::fig4`] |
+//! | Fig. 5 (detection-moment sweep) | [`figures::fig5`] |
+//! | Fig. 6 (MFLUSH operational environment) | [`figures::fig6`] |
+//! | Fig. 7 (MCReg hardware example) | [`figures::fig7`] |
+//! | Fig. 8 (throughput, 4 policies) | [`figures::fig8`] |
+//! | Fig. 9 (energy distribution) | [`figures::fig9`] |
+//! | Fig. 10 (energy consumption factor) | [`figures::fig10`] |
+//! | Fig. 11 (FLUSH wasted energy) | [`figures::fig11`] |
+//!
+//! The defaults use a scaled-down fixed interval (see
+//! `smtsim_core::config::DEFAULT_CYCLES`); pass larger budgets for
+//! tighter numbers.
+
+pub mod figures;
+
+pub use figures::*;

@@ -1,0 +1,245 @@
+//! `smtsim` — command-line front-end to the CMP+SMT simulator.
+//!
+//! ```text
+//! smtsim run --workload 8W3 --policy mflush --cycles 200000
+//! smtsim run --benchmarks mcf,gzip,swim,crafty --policy flush-s50
+//! smtsim sweep --workload 8W3 --cycles 100000 --csv
+//! smtsim calibrate --cycles 60000
+//! smtsim workloads
+//! smtsim policies
+//! ```
+
+use smtsim_core::calibration::{calibrate, calibration_table};
+use smtsim_core::report::{histogram_table, results_csv, throughput_table};
+use smtsim_core::workloads::{ALL_WORKLOADS, FIG5B_WORKLOAD};
+use smtsim_core::{run_sweep, SimConfig, Simulator, SweepJob, Workload};
+use smtsim_policy::PolicyKind;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         smtsim run --workload <xWy> [--policy <p>] [--cycles N] [--seed N]\n  \
+         smtsim run --benchmarks a,b,c,d [--policy <p>] [--cycles N]\n  \
+         smtsim sweep --workload <xWy> [--cycles N] [--csv]\n  \
+         smtsim calibrate [--cycles N]\n  \
+         smtsim workloads | policies\n\n\
+         policies: icount, rr, brcount, l1dmisscount, adts, dcra,\n           \
+         stall-sNN, stall-ns, flush-sNN, flush-ns, flush-adapt, mflush"
+    );
+    std::process::exit(2);
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    let s = s.to_ascii_lowercase();
+    Some(match s.as_str() {
+        "icount" => PolicyKind::Icount,
+        "rr" | "roundrobin" => PolicyKind::RoundRobin,
+        "brcount" => PolicyKind::Brcount,
+        "l1dmisscount" | "misscount" => PolicyKind::L1dMissCount,
+        "adts" => PolicyKind::Adts,
+        "dcra" => PolicyKind::Dcra,
+        "flush-ns" => PolicyKind::FlushNonSpec,
+        "stall-ns" => PolicyKind::StallNonSpec,
+        "mflush" => PolicyKind::Mflush,
+        "flush-adapt" | "adaptive" => PolicyKind::FlushAdaptive,
+        _ => {
+            if let Some(x) = s.strip_prefix("flush-s") {
+                PolicyKind::FlushSpec(x.parse().ok()?)
+            } else if let Some(x) = s.strip_prefix("stall-s") {
+                PolicyKind::StallSpec(x.parse().ok()?)
+            } else {
+                return None;
+            }
+        }
+    })
+}
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Self {
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if it
+                    .peek()
+                    .map(|v| !v.starts_with("--"))
+                    .unwrap_or(false)
+                {
+                    it.next().unwrap().clone()
+                } else {
+                    String::from("true")
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                eprintln!("unexpected argument {a}");
+                usage();
+            }
+        }
+        Args { flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --{name}: {v}");
+                usage();
+            }))
+            .unwrap_or(default)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+}
+
+fn build_config(args: &Args, policy: PolicyKind) -> SimConfig {
+    if let Some(wl) = args.get("workload") {
+        let w = Workload::by_name(wl).unwrap_or_else(|| {
+            eprintln!("unknown workload {wl} (try `smtsim workloads`)");
+            std::process::exit(2);
+        });
+        SimConfig::for_workload(w, policy)
+    } else if let Some(list) = args.get("benchmarks") {
+        let names: Vec<&str> = list.split(',').collect();
+        if !names.len().is_multiple_of(2) {
+            eprintln!("need an even number of benchmarks (2 per core)");
+            std::process::exit(2);
+        }
+        SimConfig::for_benchmarks(&names, policy)
+    } else {
+        eprintln!("need --workload or --benchmarks");
+        usage();
+    }
+}
+
+fn cmd_run(args: &Args) {
+    let policy = args
+        .get("policy")
+        .map(|p| {
+            parse_policy(p).unwrap_or_else(|| {
+                eprintln!("unknown policy {p}");
+                usage();
+            })
+        })
+        .unwrap_or(PolicyKind::Mflush);
+    let cfg = build_config(args, policy)
+        .with_cycles(args.get_u64("cycles", smtsim_core::config::DEFAULT_CYCLES))
+        .with_seed(args.get_u64("seed", 0x5eed));
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+    let workload = cfg.benchmarks.join(",");
+    let r = Simulator::build(&cfg).run();
+    println!("workload   {workload}");
+    println!("policy     {}", r.policy);
+    println!("cycles     {}", r.cycles);
+    println!("throughput {:.4} IPC ({} committed)", r.throughput(), r.total_committed());
+    for (i, ipc) in r.per_thread_ipc().iter().enumerate() {
+        println!("  thread {i} ({}) IPC {ipc:.4}", cfg.benchmarks[i]);
+    }
+    let e = r.energy();
+    println!(
+        "flushes    {} ({} instructions refetched, {:.1} eu wasted, ratio {:.4})",
+        r.total_flushes(),
+        e.flush_squashed_total(),
+        e.wasted_energy(),
+        e.waste_ratio()
+    );
+    println!("L2 hit time distribution:");
+    print!("{}", histogram_table(&r.l2_hit_hist));
+}
+
+fn cmd_sweep(args: &Args) {
+    let cycles = args.get_u64("cycles", smtsim_core::config::DEFAULT_CYCLES);
+    let policies = [
+        PolicyKind::Icount,
+        PolicyKind::FlushSpec(30),
+        PolicyKind::FlushSpec(100),
+        PolicyKind::FlushNonSpec,
+        PolicyKind::StallSpec(30),
+        PolicyKind::Mflush,
+        PolicyKind::Dcra,
+    ];
+    let base = build_config(args, PolicyKind::Icount).with_cycles(cycles);
+    let jobs: Vec<SweepJob> = policies
+        .iter()
+        .map(|p| {
+            let mut cfg = base.clone();
+            cfg.policy = *p;
+            SweepJob::new(p.label(), cfg)
+        })
+        .collect();
+    let out = run_sweep(&jobs, 0);
+    let results: Vec<&smtsim_core::SimResult> = out.iter().map(|(_, r)| r).collect();
+    let labels: Vec<&str> = out.iter().map(|(l, _)| l.as_str()).collect();
+    let wl = base.benchmarks.join("+");
+    if args.has("csv") {
+        print!("{}", results_csv(&[(wl.as_str(), results)]));
+    } else {
+        print!("{}", throughput_table(&labels, &[(wl.as_str(), results)]));
+    }
+}
+
+fn cmd_calibrate(args: &Args) {
+    let cycles = args.get_u64("cycles", 60_000);
+    let rows = calibrate(cycles, 0);
+    print!("{}", calibration_table(&rows));
+}
+
+fn cmd_workloads() {
+    for w in ALL_WORKLOADS.iter().chain([&FIG5B_WORKLOAD]) {
+        println!(
+            "{:<16} {} threads / {} cores: {}",
+            w.name,
+            w.threads(),
+            w.cores(),
+            w.benchmark_names().join(", ")
+        );
+    }
+}
+
+fn cmd_policies() {
+    for p in [
+        PolicyKind::Icount,
+        PolicyKind::RoundRobin,
+        PolicyKind::Brcount,
+        PolicyKind::L1dMissCount,
+        PolicyKind::Adts,
+        PolicyKind::Dcra,
+        PolicyKind::StallSpec(30),
+        PolicyKind::StallNonSpec,
+        PolicyKind::FlushSpec(30),
+        PolicyKind::FlushSpec(100),
+        PolicyKind::FlushNonSpec,
+        PolicyKind::FlushAdaptive,
+        PolicyKind::Mflush,
+    ] {
+        println!("{}", p.label());
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let rest = Args::parse(&argv[1..]);
+    match cmd.as_str() {
+        "run" => cmd_run(&rest),
+        "sweep" => cmd_sweep(&rest),
+        "calibrate" => cmd_calibrate(&rest),
+        "workloads" => cmd_workloads(),
+        "policies" => cmd_policies(),
+        _ => usage(),
+    }
+}

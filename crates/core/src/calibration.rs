@@ -1,0 +1,215 @@
+//! Per-benchmark calibration: run each SPEC2000 profile paired with
+//! itself on one core and report the metrics that the synthetic-trace
+//! substitution promises (DESIGN.md §4). The ordering tests here are
+//! the guard-rail that keeps profile tuning honest: whatever the
+//! absolute numbers, `mcf` must stay the worst-behaved integer code and
+//! `eon`/`gzip` the best-behaved ones, or every paper figure loses its
+//! meaning.
+
+use crate::config::SimConfig;
+use crate::sim::Simulator;
+use crate::sweep::{run_sweep, SweepJob};
+use serde::{Deserialize, Serialize};
+use smtsim_policy::PolicyKind;
+use smtsim_trace::spec;
+
+/// One benchmark's measured behaviour (self-paired on one SMT core
+/// under ICOUNT).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalRow {
+    pub name: String,
+    /// Committed IPC per thread.
+    pub ipc_per_thread: f64,
+    /// Branch prediction accuracy (committed conditional branches).
+    pub branch_accuracy: f64,
+    /// L1D load miss rate.
+    pub l1d_miss_rate: f64,
+    /// Shared-L2 demand hit rate.
+    pub l2_hit_rate: f64,
+    /// D-TLB miss rate per load+store.
+    pub dtlb_miss_rate: f64,
+}
+
+/// Run the calibration suite (26 single-core simulations, parallel).
+pub fn calibrate(cycles: u64, workers: usize) -> Vec<CalRow> {
+    let jobs: Vec<SweepJob> = spec::ALL_BENCHMARKS
+        .iter()
+        .map(|b| {
+            SweepJob::new(
+                b.name,
+                SimConfig::for_benchmarks(&[b.name, b.name], PolicyKind::Icount)
+                    .with_cycles(cycles),
+            )
+        })
+        .collect();
+    run_sweep(&jobs, workers)
+        .into_iter()
+        .map(|(name, r)| {
+            let core = &r.cores[0];
+            let mem = &r.mem.cores[0];
+            let branches: u64 = core.threads.iter().map(|t| t.branches).sum();
+            let mispredicts: u64 = core.threads.iter().map(|t| t.mispredicts).sum();
+            CalRow {
+                name,
+                ipc_per_thread: r.throughput() / core.threads.len() as f64,
+                branch_accuracy: if branches == 0 {
+                    1.0
+                } else {
+                    1.0 - mispredicts as f64 / branches as f64
+                },
+                l1d_miss_rate: if mem.loads == 0 {
+                    0.0
+                } else {
+                    mem.load_l1_misses as f64 / mem.loads as f64
+                },
+                l2_hit_rate: {
+                    let d = mem.l2_hits + mem.l2_misses;
+                    if d == 0 {
+                        0.0
+                    } else {
+                        mem.l2_hits as f64 / d as f64
+                    }
+                },
+                dtlb_miss_rate: {
+                    let d = mem.loads + mem.stores;
+                    if d == 0 {
+                        0.0
+                    } else {
+                        mem.dtlb_misses as f64 / d as f64
+                    }
+                },
+            }
+        })
+        .collect()
+}
+
+/// Run calibration for a single benchmark (cheaper for tests).
+pub fn calibrate_one(name: &str, cycles: u64) -> CalRow {
+    let cfg = SimConfig::for_benchmarks(&[name, name], PolicyKind::Icount).with_cycles(cycles);
+    let r = Simulator::build(&cfg).run();
+    let core = &r.cores[0];
+    let mem = &r.mem.cores[0];
+    let branches: u64 = core.threads.iter().map(|t| t.branches).sum();
+    let mispredicts: u64 = core.threads.iter().map(|t| t.mispredicts).sum();
+    CalRow {
+        name: name.to_string(),
+        ipc_per_thread: r.throughput() / core.threads.len() as f64,
+        branch_accuracy: if branches == 0 {
+            1.0
+        } else {
+            1.0 - mispredicts as f64 / branches as f64
+        },
+        l1d_miss_rate: if mem.loads == 0 {
+            0.0
+        } else {
+            mem.load_l1_misses as f64 / mem.loads as f64
+        },
+        l2_hit_rate: {
+            let d = mem.l2_hits + mem.l2_misses;
+            if d == 0 {
+                0.0
+            } else {
+                mem.l2_hits as f64 / d as f64
+            }
+        },
+        dtlb_miss_rate: {
+            let d = mem.loads + mem.stores;
+            if d == 0 {
+                0.0
+            } else {
+                mem.dtlb_misses as f64 / d as f64
+            }
+        },
+    }
+}
+
+/// Render a calibration table.
+pub fn calibration_table(rows: &[CalRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10}{:>9}{:>9}{:>9}{:>9}{:>9}",
+        "bench", "ipc/thr", "br acc", "l1d m%", "l2 hit%", "dtlb m%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10}{:>9.3}{:>9.3}{:>9.2}{:>9.2}{:>9.3}",
+            r.name,
+            r.ipc_per_thread,
+            r.branch_accuracy,
+            100.0 * r.l1d_miss_rate,
+            100.0 * r.l2_hit_rate,
+            100.0 * r.dtlb_miss_rate
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CYCLES: u64 = 25_000;
+
+    #[test]
+    fn memory_bound_threads_behave_memory_bound() {
+        let mcf = calibrate_one("mcf", CYCLES);
+        let eon = calibrate_one("eon", CYCLES);
+        assert!(
+            mcf.ipc_per_thread < eon.ipc_per_thread / 3.0,
+            "mcf {:.3} vs eon {:.3}",
+            mcf.ipc_per_thread,
+            eon.ipc_per_thread
+        );
+        assert!(mcf.l1d_miss_rate > 3.0 * eon.l1d_miss_rate);
+    }
+
+    #[test]
+    fn ilp_threads_are_fast() {
+        for name in ["gzip", "eon", "mesa", "sixtrack"] {
+            let r = calibrate_one(name, CYCLES);
+            assert!(
+                r.ipc_per_thread > 0.6,
+                "{name}: ipc {:.3} too low for an ILP code",
+                r.ipc_per_thread
+            );
+        }
+    }
+
+    #[test]
+    fn streamers_miss_the_l1_heavily() {
+        for name in ["swim", "lucas", "art"] {
+            let r = calibrate_one(name, CYCLES);
+            assert!(
+                r.l1d_miss_rate > 0.10,
+                "{name}: l1d miss {:.3} too low for a streamer",
+                r.l1d_miss_rate
+            );
+        }
+    }
+
+    #[test]
+    fn fp_codes_predict_branches_well() {
+        for name in ["swim", "wupwise", "lucas"] {
+            let r = calibrate_one(name, CYCLES);
+            assert!(
+                r.branch_accuracy > 0.93,
+                "{name}: acc {:.3}",
+                r.branch_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = vec![
+            calibrate_one("gzip", 5_000),
+            calibrate_one("mcf", 5_000),
+        ];
+        let t = calibration_table(&rows);
+        assert!(t.contains("gzip"));
+        assert!(t.contains("mcf"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Experiment configuration.
+
+use crate::workloads::Workload;
+use serde::{Deserialize, Serialize};
+use smtsim_cpu::CoreConfig;
+use smtsim_mem::MemConfig;
+use smtsim_policy::{PolicyEnv, PolicyKind};
+
+/// Default measurement interval in cycles.
+///
+/// The paper simulates a fixed 120M-cycle interval; with warmed caches
+/// our synthetic traces reach steady state quickly, so the default is
+/// scaled down to keep full figure sweeps tractable. Every driver knob
+/// remains overridable.
+pub const DEFAULT_CYCLES: u64 = 150_000;
+
+/// One complete experiment: machine + workload + policy + interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Per-core configuration (Fig. 1 defaults).
+    pub core: CoreConfig,
+    /// Memory hierarchy configuration; `num_cores` must match the
+    /// workload.
+    pub mem: MemConfig,
+    /// Fetch policy for every core.
+    pub policy: PolicyKind,
+    /// Benchmark names, one per hardware thread, in thread order
+    /// (consecutive pairs share a core).
+    pub benchmarks: Vec<String>,
+    /// Simulated cycles (fixed interval, as in the paper).
+    pub cycles: u64,
+    /// Base RNG seed; thread `i` uses `seed + i * 7919`.
+    pub seed: u64,
+    /// Warm caches/TLBs to the trace-driven starting condition.
+    pub warmup: bool,
+}
+
+impl SimConfig {
+    /// Experiment on a paper workload with Fig. 1 machine defaults.
+    pub fn for_workload(workload: &Workload, policy: PolicyKind) -> Self {
+        SimConfig {
+            core: CoreConfig::paper(),
+            mem: MemConfig::paper(workload.cores()),
+            policy,
+            benchmarks: workload
+                .benchmark_names()
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            cycles: DEFAULT_CYCLES,
+            seed: 0x5eed,
+            warmup: true,
+        }
+    }
+
+    /// Ad-hoc experiment from benchmark names (must be an even count).
+    pub fn for_benchmarks(benchmarks: &[&str], policy: PolicyKind) -> Self {
+        SimConfig {
+            core: CoreConfig::paper(),
+            mem: MemConfig::paper((benchmarks.len() / 2).max(1) as u32),
+            policy,
+            benchmarks: benchmarks.iter().map(|s| s.to_string()).collect(),
+            cycles: DEFAULT_CYCLES,
+            seed: 0x5eed,
+            warmup: true,
+        }
+    }
+
+    /// Builder-style override of the measurement interval.
+    pub fn with_cycles(mut self, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of SMT cores.
+    pub fn cores(&self) -> u32 {
+        (self.benchmarks.len() / self.core.contexts as usize) as u32
+    }
+
+    /// The policy environment the machine parameters imply (feeds
+    /// MFLUSH's MIN/MAX/MT operational environment).
+    pub fn policy_env(&self) -> PolicyEnv {
+        PolicyEnv {
+            min_latency: self.mem.l1_miss_nominal(),
+            max_latency: self.mem.l2_miss_nominal(),
+            bus_delay: self.mem.bus_latency,
+            bank_delay: self.mem.l2_bank_cycles,
+            // MFLUSH's MT term scales with the cores sharing *one* L2.
+            num_cores: self.mem.cores_per_cluster(),
+            num_banks: self.mem.l2_banks,
+            shared_queue_entries: self.core.int_queue,
+        }
+    }
+
+    /// Validate the experiment.
+    pub fn validate(&self) -> Result<(), String> {
+        self.core.validate()?;
+        self.mem.validate()?;
+        if self.benchmarks.is_empty() {
+            return Err("no benchmarks".into());
+        }
+        if !self.benchmarks.len().is_multiple_of(self.core.contexts as usize) {
+            return Err(format!(
+                "{} benchmarks do not fill {}-context cores",
+                self.benchmarks.len(),
+                self.core.contexts
+            ));
+        }
+        if self.cores() != self.mem.num_cores {
+            return Err(format!(
+                "workload needs {} cores but mem config has {}",
+                self.cores(),
+                self.mem.num_cores
+            ));
+        }
+        for b in &self.benchmarks {
+            if smtsim_trace::spec::benchmark_by_name(b).is_none() {
+                return Err(format!("unknown benchmark {b}"));
+            }
+        }
+        if self.cycles == 0 {
+            return Err("cycles == 0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_config_is_consistent() {
+        let w = Workload::by_name("6W3").unwrap();
+        let cfg = SimConfig::for_workload(w, PolicyKind::Mflush);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.cores(), 3);
+        assert_eq!(cfg.mem.num_cores, 3);
+        assert_eq!(cfg.benchmarks.len(), 6);
+    }
+
+    #[test]
+    fn policy_env_matches_fig1_machine() {
+        let w = Workload::by_name("8W1").unwrap();
+        let cfg = SimConfig::for_workload(w, PolicyKind::Mflush);
+        let env = cfg.policy_env();
+        assert_eq!(env.min_latency, 22);
+        assert_eq!(env.max_latency, 272);
+        assert_eq!(env.num_cores, 4);
+        assert_eq!(env.num_banks, 4);
+    }
+
+    #[test]
+    fn mismatched_core_count_rejected() {
+        let w = Workload::by_name("4W1").unwrap();
+        let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount);
+        cfg.mem = MemConfig::paper(3);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_benchmark_rejected() {
+        let mut cfg = SimConfig::for_benchmarks(&["gzip", "nosuch"], PolicyKind::Icount);
+        assert!(cfg.validate().is_err());
+        cfg.benchmarks[1] = "mcf".into();
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn builders_override() {
+        let w = Workload::by_name("2W1").unwrap();
+        let cfg = SimConfig::for_workload(w, PolicyKind::Icount)
+            .with_cycles(42)
+            .with_seed(7);
+        assert_eq!(cfg.cycles, 42);
+        assert_eq!(cfg.seed, 7);
+    }
+}

@@ -1,0 +1,33 @@
+//! # smtsim-core — CMP+SMT simulator driver for the MFLUSH reproduction
+//!
+//! Assembles the full machine of the paper: `N` two-context SMT cores
+//! ([`smtsim_cpu::SmtCore`]) sharing one banked L2
+//! ([`smtsim_mem::MemorySystem`]), each core running a pluggable fetch
+//! policy ([`smtsim_policy`]), fed by synthetic SPEC2000 traces
+//! ([`smtsim_trace`]), with the paper's energy accounting
+//! ([`smtsim_energy`]).
+//!
+//! * [`workloads`] — the paper's Fig. 1 workload table (2W1 … 8W5) plus
+//!   the Fig. 5(b) special bzip2/twolf workload;
+//! * [`config`] — one [`config::SimConfig`] describes a complete
+//!   experiment (machine + workload + policy + interval);
+//! * [`sim`] — the cycle-level driver;
+//! * [`result`] — measurement snapshot with throughput/energy helpers;
+//! * [`sweep`] — a crossbeam-based parallel runner for parameter sweeps
+//!   (each simulation is independent, so sweeps scale with host cores);
+//! * [`report`] — plain-text tables matching the paper's figures.
+
+pub mod calibration;
+pub mod config;
+pub mod report;
+pub mod result;
+pub mod sim;
+pub mod sweep;
+pub mod workloads;
+
+pub use calibration::{calibrate, calibrate_one, CalRow};
+pub use config::SimConfig;
+pub use result::SimResult;
+pub use sim::Simulator;
+pub use sweep::{run_sweep, SweepJob};
+pub use workloads::Workload;

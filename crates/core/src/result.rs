@@ -1,0 +1,205 @@
+//! Measurement snapshot of one simulation run.
+
+use serde::{Deserialize, Serialize};
+use smtsim_cpu::CoreStats;
+use smtsim_energy::EnergyAccount;
+use smtsim_mem::{LatencyHistogram, MemStats};
+
+/// Everything the figure harness needs from one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Policy label (e.g. `"FLUSH-S100"`).
+    pub policy: String,
+    /// Workload description (benchmark names, thread order).
+    pub workload: Vec<String>,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Per-core statistics.
+    pub cores: Vec<CoreStats>,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+    /// Distribution of L2-hit service times for loads (Fig. 4).
+    pub l2_hit_hist: LatencyHistogram,
+}
+
+impl SimResult {
+    /// Total committed instructions across all threads.
+    pub fn total_committed(&self) -> u64 {
+        self.cores.iter().map(|c| c.total_committed()).sum()
+    }
+
+    /// System throughput in instructions per cycle — the paper's
+    /// figure-of-merit for every throughput plot.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_committed() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Per-thread IPCs in thread order.
+    pub fn per_thread_ipc(&self) -> Vec<f64> {
+        self.cores
+            .iter()
+            .flat_map(|c| c.threads.iter().map(|t| t.ipc(self.cycles)))
+            .collect()
+    }
+
+    /// Merged energy ledger across all threads.
+    pub fn energy(&self) -> EnergyAccount {
+        let mut acc = EnergyAccount::new();
+        for c in &self.cores {
+            acc.merge(&c.energy());
+        }
+        acc
+    }
+
+    /// The paper's Fig. 11 metric: energy wasted by the FLUSH mechanism
+    /// (refetched work), in commit-energy units.
+    pub fn wasted_energy(&self) -> f64 {
+        self.energy().wasted_energy()
+    }
+
+    /// FLUSH response actions executed across all cores.
+    pub fn total_flushes(&self) -> u64 {
+        self.cores.iter().map(|c| c.flushes_executed).sum()
+    }
+
+    /// Throughput ratio of `self` over a baseline run.
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        let b = baseline.throughput();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.throughput() / b
+        }
+    }
+
+    /// Harmonic mean of the per-thread IPCs — the standard SMT metric
+    /// that rewards *balanced* progress: a policy that starves one
+    /// thread to feed another scores worse here than on raw throughput.
+    pub fn hmean_ipc(&self) -> f64 {
+        let ipcs = self.per_thread_ipc();
+        if ipcs.iter().any(|&i| i <= 0.0) {
+            return 0.0;
+        }
+        ipcs.len() as f64 / ipcs.iter().map(|i| 1.0 / i).sum::<f64>()
+    }
+
+    /// Min/max fairness index over per-thread IPCs, in `[0, 1]`
+    /// (1 = perfectly balanced). Note that multiprogrammed SPEC threads
+    /// have very different intrinsic IPCs, so this measures *joint*
+    /// imbalance, not policy-induced imbalance alone.
+    pub fn fairness_index(&self) -> f64 {
+        let ipcs = self.per_thread_ipc();
+        let max = ipcs.iter().cloned().fold(f64::NAN, f64::max);
+        let min = ipcs.iter().cloned().fold(f64::NAN, f64::min);
+        if max.is_nan() || max <= 0.0 {
+            return 0.0;
+        }
+        min / max
+    }
+
+    /// Per-thread speedups over a baseline run of the *same workload*
+    /// (thread-by-thread), e.g. MFLUSH vs ICOUNT. Panics when the
+    /// workloads differ.
+    pub fn per_thread_speedup(&self, baseline: &SimResult) -> Vec<f64> {
+        assert_eq!(
+            self.workload, baseline.workload,
+            "per-thread speedup needs identical workloads"
+        );
+        self.per_thread_ipc()
+            .iter()
+            .zip(baseline.per_thread_ipc())
+            .map(|(a, b)| if b == 0.0 { 0.0 } else { a / b })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim_cpu::ThreadStats;
+
+    fn result_with(committed: &[u64], cycles: u64) -> SimResult {
+        SimResult {
+            policy: "TEST".into(),
+            workload: vec!["a".into(); committed.len()],
+            cycles,
+            cores: committed
+                .chunks(2)
+                .map(|pair| CoreStats {
+                    threads: pair
+                        .iter()
+                        .map(|&c| ThreadStats {
+                            committed: c,
+                            ..Default::default()
+                        })
+                        .collect(),
+                    ..Default::default()
+                })
+                .collect(),
+            mem: MemStats::default(),
+            l2_hit_hist: LatencyHistogram::for_l2_hit_time(),
+        }
+    }
+
+    #[test]
+    fn throughput_and_ipc() {
+        let r = result_with(&[100, 300], 100);
+        assert!((r.throughput() - 4.0).abs() < 1e-12);
+        assert_eq!(r.per_thread_ipc(), vec![1.0, 3.0]);
+        assert_eq!(r.total_committed(), 400);
+    }
+
+    #[test]
+    fn speedup_over_baseline() {
+        let base = result_with(&[100, 100], 100);
+        let fast = result_with(&[150, 150], 100);
+        assert!((fast.speedup_over(&base) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_safe() {
+        let r = result_with(&[0, 0], 0);
+        assert_eq!(r.throughput(), 0.0);
+    }
+
+    #[test]
+    fn hmean_punishes_imbalance() {
+        let balanced = result_with(&[200, 200], 100);
+        let skewed = result_with(&[390, 10], 100);
+        assert_eq!(balanced.total_committed(), skewed.total_committed());
+        assert!(balanced.hmean_ipc() > 3.0 * skewed.hmean_ipc());
+    }
+
+    #[test]
+    fn hmean_zero_when_a_thread_starves() {
+        let r = result_with(&[100, 0], 100);
+        assert_eq!(r.hmean_ipc(), 0.0);
+    }
+
+    #[test]
+    fn fairness_index_bounds() {
+        assert!((result_with(&[100, 100], 100).fairness_index() - 1.0).abs() < 1e-12);
+        assert!((result_with(&[100, 25], 100).fairness_index() - 0.25).abs() < 1e-12);
+        assert_eq!(result_with(&[0, 0], 100).fairness_index(), 0.0);
+    }
+
+    #[test]
+    fn per_thread_speedup_elementwise() {
+        let base = result_with(&[100, 200], 100);
+        let fast = result_with(&[150, 100], 100);
+        assert_eq!(fast.per_thread_speedup(&base), vec![1.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical workloads")]
+    fn per_thread_speedup_rejects_different_workloads() {
+        let a = result_with(&[100], 100);
+        let mut b = result_with(&[100], 100);
+        b.workload = vec!["other".into()];
+        let _ = a.per_thread_speedup(&b);
+    }
+}

@@ -1,0 +1,211 @@
+//! The cycle-level CMP+SMT simulator.
+//!
+//! A [`Simulator`] owns `N` [`SmtCore`]s and the shared
+//! [`MemorySystem`]. Each cycle the memory system advances first, then
+//! every core, in id order — matching the in-order tick protocol the
+//! component crates document.
+
+use crate::config::SimConfig;
+use crate::result::SimResult;
+use smtsim_cpu::thread::ThreadProgram;
+use smtsim_cpu::SmtCore;
+use smtsim_mem::MemorySystem;
+use smtsim_policy::build_policy;
+use smtsim_trace::{spec, TraceGenerator};
+
+/// A built machine ready to run.
+pub struct Simulator {
+    cfg: SimConfig,
+    cores: Vec<SmtCore>,
+    mem: MemorySystem,
+    now: u64,
+}
+
+impl Simulator {
+    /// Build the machine for an experiment. Panics on an invalid
+    /// configuration (configurations are validated, not recovered).
+    pub fn build(cfg: &SimConfig) -> Self {
+        cfg.validate().expect("invalid SimConfig");
+        let env = cfg.policy_env();
+        let contexts = cfg.core.contexts as usize;
+        let mem = MemorySystem::new(cfg.mem);
+        let cores = (0..cfg.cores())
+            .map(|core_id| {
+                let programs: Vec<ThreadProgram> = (0..contexts)
+                    .map(|slot| {
+                        let global = core_id as usize * contexts + slot;
+                        let profile = spec::benchmark_by_name(&cfg.benchmarks[global])
+                            .expect("validated benchmark");
+                        ThreadProgram::from_generator(TraceGenerator::new(
+                            profile,
+                            cfg.seed + global as u64 * 7919,
+                        ))
+                    })
+                    .collect();
+                SmtCore::new(core_id, cfg.core, build_policy(cfg.policy, &env), programs)
+            })
+            .collect();
+        Simulator {
+            cfg: cfg.clone(),
+            cores,
+            mem,
+            now: 0,
+        }
+    }
+
+    /// Advance `cycles` cycles (without collecting a result).
+    pub fn step(&mut self, cycles: u64) {
+        if self.now == 0 && self.cfg.warmup {
+            for c in &mut self.cores {
+                c.prewarm(&mut self.mem);
+            }
+        }
+        for _ in 0..cycles {
+            self.mem.tick(self.now);
+            for c in &mut self.cores {
+                c.tick(self.now, &mut self.mem);
+            }
+            self.now += 1;
+        }
+    }
+
+    /// Run the configured fixed interval and return the measurements.
+    pub fn run(mut self) -> SimResult {
+        let cycles = self.cfg.cycles;
+        self.step(cycles);
+        self.snapshot()
+    }
+
+    /// Current measurement snapshot (cumulative since cycle 0).
+    pub fn snapshot(&self) -> SimResult {
+        SimResult {
+            policy: self
+                .cores
+                .first()
+                .map(|c| c.policy_name())
+                .unwrap_or_default(),
+            workload: self.cfg.benchmarks.clone(),
+            cycles: self.now,
+            cores: self.cores.iter().map(|c| c.stats()).collect(),
+            mem: self.mem.stats(),
+            l2_hit_hist: self.mem.l2_hit_histogram().clone(),
+        }
+    }
+
+    /// Cycle counter.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Record `(tid, trace_seq)` for every commit on every core — the
+    /// hook behind the golden trace-order property tests.
+    pub fn enable_commit_logs(&mut self) {
+        for c in &mut self.cores {
+            c.enable_commit_log();
+        }
+    }
+
+    /// Per-core commit logs (empty unless enabled).
+    pub fn commit_logs(&self) -> Vec<&[(usize, u64)]> {
+        self.cores.iter().map(|c| c.commit_log()).collect()
+    }
+
+    /// The cores (read access, e.g. for policy introspection).
+    pub fn cores(&self) -> &[SmtCore] {
+        &self.cores
+    }
+
+    /// The shared memory system.
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Workload;
+    use smtsim_policy::PolicyKind;
+
+    fn quick(workload: &str, policy: PolicyKind, cycles: u64) -> SimResult {
+        let w = Workload::by_name(workload).unwrap();
+        let cfg = SimConfig::for_workload(w, policy).with_cycles(cycles);
+        Simulator::build(&cfg).run()
+    }
+
+    #[test]
+    fn single_core_workload_runs() {
+        let r = quick("2W1", PolicyKind::Icount, 10_000);
+        assert!(r.total_committed() > 1_000, "got {}", r.total_committed());
+        assert_eq!(r.cores.len(), 1);
+        assert_eq!(r.per_thread_ipc().len(), 2);
+    }
+
+    #[test]
+    fn four_core_workload_runs_all_cores() {
+        let r = quick("8W2", PolicyKind::Icount, 8_000);
+        assert_eq!(r.cores.len(), 4);
+        for (i, c) in r.cores.iter().enumerate() {
+            assert!(
+                c.total_committed() > 100,
+                "core {i} barely progressed: {}",
+                c.total_committed()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = quick("4W3", PolicyKind::FlushSpec(30), 6_000);
+        let b = quick("4W3", PolicyKind::FlushSpec(30), 6_000);
+        assert_eq!(a.total_committed(), b.total_committed());
+        assert_eq!(a.total_flushes(), b.total_flushes());
+    }
+
+    #[test]
+    fn seeds_matter() {
+        let w = Workload::by_name("2W2").unwrap();
+        let a = Simulator::build(
+            &SimConfig::for_workload(w, PolicyKind::Icount)
+                .with_cycles(6_000)
+                .with_seed(1),
+        )
+        .run();
+        let b = Simulator::build(
+            &SimConfig::for_workload(w, PolicyKind::Icount)
+                .with_cycles(6_000)
+                .with_seed(2),
+        )
+        .run();
+        assert_ne!(a.total_committed(), b.total_committed());
+    }
+
+    #[test]
+    fn policy_label_propagates() {
+        let r = quick("2W1", PolicyKind::FlushSpec(100), 2_000);
+        assert_eq!(r.policy, "FLUSH-S100");
+    }
+
+    #[test]
+    fn l2_hit_histogram_populates_on_shared_l2_traffic() {
+        let r = quick("8W3", PolicyKind::Icount, 20_000);
+        assert!(
+            r.l2_hit_hist.count() > 50,
+            "8-thread memory-bound workload must produce L2 hits, got {}",
+            r.l2_hit_hist.count()
+        );
+    }
+
+    #[test]
+    fn step_accumulates() {
+        let w = Workload::by_name("2W1").unwrap();
+        let cfg = SimConfig::for_workload(w, PolicyKind::Icount).with_cycles(4_000);
+        let mut sim = Simulator::build(&cfg);
+        sim.step(2_000);
+        let early = sim.snapshot().total_committed();
+        sim.step(2_000);
+        let late = sim.snapshot().total_committed();
+        assert!(late > early);
+        assert_eq!(sim.now(), 4_000);
+    }
+}

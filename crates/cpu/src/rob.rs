@@ -1,0 +1,274 @@
+//! Per-thread reorder buffer (256 entries each, replicated — Fig. 1).
+
+use crate::regfile::PhysReg;
+use smtsim_energy::PipelineStage;
+use smtsim_mem::ReqId;
+use smtsim_trace::{DynInstr, InstrClass};
+use std::collections::VecDeque;
+
+/// Which shared issue queue an instruction occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    Int,
+    Fp,
+    Ls,
+}
+
+impl QueueKind {
+    /// Map an instruction class to its queue.
+    pub fn of(class: InstrClass) -> QueueKind {
+        if class.is_fp() {
+            QueueKind::Fp
+        } else if class.is_mem() {
+            QueueKind::Ls
+        } else {
+            QueueKind::Int
+        }
+    }
+
+    /// Queue index for counter arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            QueueKind::Int => 0,
+            QueueKind::Fp => 1,
+            QueueKind::Ls => 2,
+        }
+    }
+}
+
+/// Execution state of a dispatched instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrState {
+    /// In an issue queue, waiting for operands / a unit.
+    InQueue,
+    /// Executing on a unit; result at `done_at`.
+    Executing { done_at: u64 },
+    /// A load waiting on the memory hierarchy.
+    WaitingMem { req: ReqId },
+    /// Completed, waiting to commit.
+    Done,
+}
+
+/// One in-flight instruction past rename.
+#[derive(Debug, Clone, Copy)]
+pub struct RobEntry {
+    /// Core-wide monotonically increasing id (also the policy's
+    /// `LoadToken` for loads).
+    pub token: u64,
+    pub instr: DynInstr,
+    /// Wrong-path junk (never commits; squashed on branch resolution).
+    pub wrong_path: bool,
+    pub state: InstrState,
+    pub queue: QueueKind,
+    /// Source physical registers.
+    pub srcs: [Option<PhysReg>; 2],
+    /// `(allocated, previous)` physical destination mapping.
+    pub dst: Option<(PhysReg, PhysReg)>,
+    /// Correct-path branch whose prediction was wrong; resolves (and
+    /// squashes) at execute.
+    pub mispredicted: bool,
+    /// The fetch policy was told about this load at issue.
+    pub load_tracked: bool,
+}
+
+impl RobEntry {
+    /// Deepest pipeline stage this instruction *completed*, for squash
+    /// energy accounting (Fig. 10/11): dispatched instructions completed
+    /// Rename and occupy the Queue; issued ones have executed; done ones
+    /// have written their result back.
+    pub fn deepest_stage(&self) -> PipelineStage {
+        match self.state {
+            InstrState::InQueue => PipelineStage::Queue,
+            InstrState::Executing { .. } | InstrState::WaitingMem { .. } => {
+                PipelineStage::Execute
+            }
+            InstrState::Done => PipelineStage::RegWrite,
+        }
+    }
+}
+
+/// A bounded, in-order reorder buffer for one hardware context.
+#[derive(Debug, Clone)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+}
+
+impl Rob {
+    /// ROB with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// True when another instruction can dispatch.
+    pub fn has_room(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append a dispatched instruction (program order). Panics when
+    /// full — callers must check [`Rob::has_room`].
+    pub fn push(&mut self, e: RobEntry) {
+        assert!(self.has_room(), "ROB overflow");
+        if let Some(last) = self.entries.back() {
+            debug_assert!(e.token > last.token, "ROB must stay in program order");
+        }
+        self.entries.push_back(e);
+    }
+
+    /// Oldest instruction.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Remove and return the oldest instruction (commit).
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Remove every entry younger than `keep_token`, returning them
+    /// **newest first** (the order rename rollback requires).
+    pub fn squash_younger(&mut self, keep_token: u64) -> Vec<RobEntry> {
+        let mut removed = Vec::new();
+        while let Some(back) = self.entries.back() {
+            if back.token > keep_token {
+                removed.push(self.entries.pop_back().unwrap());
+            } else {
+                break;
+            }
+        }
+        removed
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterate with mutation, oldest → newest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Find an entry by token.
+    pub fn find_mut(&mut self, token: u64) -> Option<&mut RobEntry> {
+        self.entries.iter_mut().find(|e| e.token == token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(token: u64) -> RobEntry {
+        RobEntry {
+            token,
+            instr: DynInstr::nop(token, 0x1000 + token * 4),
+            wrong_path: false,
+            state: InstrState::InQueue,
+            queue: QueueKind::Int,
+            srcs: [None, None],
+            dst: None,
+            mispredicted: false,
+            load_tracked: false,
+        }
+    }
+
+    #[test]
+    fn queue_kind_mapping() {
+        assert_eq!(QueueKind::of(InstrClass::IntAlu), QueueKind::Int);
+        assert_eq!(QueueKind::of(InstrClass::BranchCond), QueueKind::Int);
+        assert_eq!(QueueKind::of(InstrClass::FpMul), QueueKind::Fp);
+        assert_eq!(QueueKind::of(InstrClass::Load), QueueKind::Ls);
+        assert_eq!(QueueKind::of(InstrClass::Store), QueueKind::Ls);
+    }
+
+    #[test]
+    fn fifo_commit_order() {
+        let mut r = Rob::new(8);
+        for t in 0..5 {
+            r.push(entry(t));
+        }
+        assert_eq!(r.head().unwrap().token, 0);
+        assert_eq!(r.pop_head().unwrap().token, 0);
+        assert_eq!(r.head().unwrap().token, 1);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut r = Rob::new(2);
+        r.push(entry(0));
+        r.push(entry(1));
+        assert!(!r.has_room());
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB overflow")]
+    fn overflow_panics() {
+        let mut r = Rob::new(1);
+        r.push(entry(0));
+        r.push(entry(1));
+    }
+
+    #[test]
+    fn squash_removes_younger_newest_first() {
+        let mut r = Rob::new(16);
+        for t in 0..10 {
+            r.push(entry(t));
+        }
+        let removed = r.squash_younger(4);
+        let tokens: Vec<u64> = removed.iter().map(|e| e.token).collect();
+        assert_eq!(tokens, vec![9, 8, 7, 6, 5]);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.iter().last().unwrap().token, 4);
+    }
+
+    #[test]
+    fn squash_with_future_token_is_noop() {
+        let mut r = Rob::new(8);
+        r.push(entry(0));
+        assert!(r.squash_younger(100).is_empty());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn deepest_stage_by_state() {
+        let mut e = entry(0);
+        assert_eq!(e.deepest_stage(), PipelineStage::Queue);
+        e.state = InstrState::Executing { done_at: 5 };
+        assert_eq!(e.deepest_stage(), PipelineStage::Execute);
+        e.state = InstrState::WaitingMem { req: 3 };
+        assert_eq!(e.deepest_stage(), PipelineStage::Execute);
+        e.state = InstrState::Done;
+        assert_eq!(e.deepest_stage(), PipelineStage::RegWrite);
+    }
+
+    #[test]
+    fn find_mut_locates_entry() {
+        let mut r = Rob::new(8);
+        for t in 0..5 {
+            r.push(entry(t));
+        }
+        r.find_mut(3).unwrap().state = InstrState::Done;
+        assert_eq!(
+            r.iter().find(|e| e.token == 3).unwrap().state,
+            InstrState::Done
+        );
+        assert!(r.find_mut(99).is_none());
+    }
+}

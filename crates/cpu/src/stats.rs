@@ -1,0 +1,132 @@
+//! Core and thread statistics snapshots.
+
+use serde::{Deserialize, Serialize};
+use smtsim_energy::EnergyAccount;
+
+/// Per-thread statistics snapshot.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThreadStats {
+    pub committed: u64,
+    pub fetched: u64,
+    pub branches: u64,
+    pub mispredicts: u64,
+    pub loads_issued: u64,
+    pub flushes: u64,
+    pub energy: EnergyAccount,
+}
+
+impl ThreadStats {
+    /// Committed instructions per cycle over `cycles`.
+    pub fn ipc(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / cycles as f64
+        }
+    }
+
+    /// Branch prediction accuracy (1.0 when no branches committed).
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Per-core statistics snapshot.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoreStats {
+    pub threads: Vec<ThreadStats>,
+    /// Cycles in which at least one instruction was fetched.
+    pub fetch_active_cycles: u64,
+    /// Issue-queue-full dispatch stalls.
+    pub iq_full_stalls: u64,
+    /// Register-file-exhausted dispatch stalls.
+    pub reg_full_stalls: u64,
+    /// ROB-full dispatch stalls.
+    pub rob_full_stalls: u64,
+    /// Load issues rejected because the MSHR file was full.
+    pub mshr_retries: u64,
+    /// FLUSH response actions executed.
+    pub flushes_executed: u64,
+    /// Policy stall actions executed.
+    pub stalls_executed: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub store_forwards: u64,
+}
+
+impl CoreStats {
+    /// Total committed instructions across contexts.
+    pub fn total_committed(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
+    }
+
+    /// Core throughput in instructions per cycle.
+    pub fn throughput(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.total_committed() as f64 / cycles as f64
+        }
+    }
+
+    /// Merged energy ledger across contexts.
+    pub fn energy(&self) -> EnergyAccount {
+        let mut acc = EnergyAccount::new();
+        for t in &self.threads {
+            acc.merge(&t.energy);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_throughput() {
+        let mut s = CoreStats::default();
+        s.threads.push(ThreadStats {
+            committed: 100,
+            ..Default::default()
+        });
+        s.threads.push(ThreadStats {
+            committed: 50,
+            ..Default::default()
+        });
+        assert_eq!(s.total_committed(), 150);
+        assert!((s.throughput(100) - 1.5).abs() < 1e-12);
+        assert!((s.threads[0].ipc(100) - 1.0).abs() < 1e-12);
+        assert_eq!(s.throughput(0), 0.0);
+    }
+
+    #[test]
+    fn branch_accuracy() {
+        let t = ThreadStats {
+            branches: 100,
+            mispredicts: 8,
+            ..Default::default()
+        };
+        assert!((t.branch_accuracy() - 0.92).abs() < 1e-12);
+        assert_eq!(ThreadStats::default().branch_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn energy_merges_threads() {
+        use smtsim_energy::{PipelineStage, SquashCause};
+        let mut a = ThreadStats::default();
+        a.energy.commit_n(10);
+        let mut b = ThreadStats::default();
+        b.energy.squash(SquashCause::Flush, PipelineStage::Commit);
+        let s = CoreStats {
+            threads: vec![a, b],
+            ..Default::default()
+        };
+        let e = s.energy();
+        assert_eq!(e.committed(), 10);
+        assert!((e.wasted_energy() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! # smtsim-energy — the paper's energy model (Figs. 9, 10, 11)
+//!
+//! The FLUSH mechanism squashes instructions and refetches them later, so
+//! every squashed instruction pays part of its pipeline energy twice. The
+//! paper quantifies this with the **Energy Consumption Factor** (Fig. 10),
+//! derived from Folegnani & González's per-resource energy breakdown
+//! (Fig. 9): committing one instruction costs 1 energy unit, split across
+//! the pipeline stages; an instruction squashed at stage *s* has already
+//! spent the *accumulated* factor of *s*, and that amount is wasted.
+//!
+//! This crate provides the stage model ([`PipelineStage`]), the factor
+//! table ([`ecf`]), and a per-thread/per-policy accounting ledger
+//! ([`account::EnergyAccount`]) the core model feeds as it squashes and
+//! commits instructions.
+//!
+//! ```
+//! use smtsim_energy::{accumulated_factor, EnergyAccount, PipelineStage, SquashCause};
+//!
+//! let mut ledger = EnergyAccount::new();
+//! ledger.commit_n(100);                                  // 100 eu useful
+//! ledger.squash(SquashCause::Flush, PipelineStage::Queue); // 0.64 eu wasted
+//! assert_eq!(accumulated_factor(PipelineStage::Queue), 0.64);
+//! assert!((ledger.wasted_energy() - 0.64).abs() < 1e-12);
+//! assert!((ledger.total_energy() - 100.64).abs() < 1e-12);
+//! ```
+
+pub mod account;
+pub mod ecf;
+pub mod report;
+
+pub use account::{EnergyAccount, SquashCause};
+pub use ecf::{accumulated_factor, local_factor, PipelineStage, ALL_STAGES};

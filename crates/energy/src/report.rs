@@ -1,0 +1,81 @@
+//! Text renderings of the paper's energy tables (Figs. 9 and 10) and of
+//! measured ledgers (Fig. 11 rows).
+
+use crate::account::EnergyAccount;
+use crate::ecf::{accumulated_factor, local_factor, ALL_STAGES, RESOURCE_ENERGY};
+use std::fmt::Write;
+
+/// Render Fig. 10 ("Energy Consumption Factor") as a text table.
+pub fn ecf_table() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Energy Consumption Factor");
+    let _ = writeln!(s, "{:<12} {:>7} {:>12}", "Stage", "Local", "Accumulated");
+    for st in ALL_STAGES {
+        let _ = writeln!(
+            s,
+            "{:<12} {:>7.2} {:>12.2}",
+            st.name(),
+            local_factor(st),
+            accumulated_factor(st)
+        );
+    }
+    s
+}
+
+/// Render Fig. 9(a) ("energy distribution per resource") as a text table.
+pub fn resource_table() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Energy distribution per hardware resource");
+    let _ = writeln!(s, "{:<30} {:>6}  Charged stage", "Resource", "%");
+    for r in RESOURCE_ENERGY {
+        let _ = writeln!(s, "{:<30} {:>6.1}  {}", r.resource, r.percent, r.stage.name());
+    }
+    s
+}
+
+/// Render one Fig. 11 row: the wasted energy of a policy on a workload.
+pub fn wasted_energy_row(label: &str, account: &EnergyAccount) -> String {
+    format!(
+        "{:<16} committed={:>10} flushed={:>9} wasted={:>12.1} eu  waste/commit={:.4}",
+        label,
+        account.committed(),
+        account.flush_squashed_total(),
+        account.wasted_energy(),
+        account.waste_ratio(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::SquashCause;
+    use crate::ecf::PipelineStage;
+
+    #[test]
+    fn ecf_table_contains_all_stages_and_values() {
+        let t = ecf_table();
+        for st in ALL_STAGES {
+            assert!(t.contains(st.name()), "missing {}", st.name());
+        }
+        assert!(t.contains("0.26"), "queue local factor missing");
+        assert!(t.contains("1.00"), "commit accumulated factor missing");
+    }
+
+    #[test]
+    fn resource_table_lists_resources() {
+        let t = resource_table();
+        assert!(t.contains("Issue queue"));
+        assert!(t.contains("Rename table"));
+    }
+
+    #[test]
+    fn wasted_row_reports_numbers() {
+        let mut a = EnergyAccount::new();
+        a.commit_n(100);
+        a.squash(SquashCause::Flush, PipelineStage::Commit);
+        let row = wasted_energy_row("FLUSH-S30", &a);
+        assert!(row.contains("FLUSH-S30"));
+        assert!(row.contains("committed="));
+        assert!(row.contains("0.0100"));
+    }
+}

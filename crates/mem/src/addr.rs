@@ -1,0 +1,85 @@
+//! Physical address arithmetic.
+//!
+//! All caches in the hierarchy use the same 64-byte line; the shared L2
+//! interleaves consecutive lines across its banks, which is what spreads
+//! (or fails to spread) concurrent traffic over bank ports.
+
+/// Cache line size in bytes. Fixed across the hierarchy.
+pub const LINE_BYTES: u64 = 64;
+
+/// Page size in bytes (Alpha-style 8 KB pages).
+pub const PAGE_BYTES: u64 = 8192;
+
+/// Line index of an address (address divided by the line size).
+#[inline]
+pub fn line_index(addr: u64) -> u64 {
+    addr / LINE_BYTES
+}
+
+/// First byte of the line containing `addr`.
+#[inline]
+pub fn line_base(addr: u64) -> u64 {
+    addr & !(LINE_BYTES - 1)
+}
+
+/// First byte of the page containing `addr`.
+#[inline]
+pub fn page_base(addr: u64) -> u64 {
+    addr & !(PAGE_BYTES - 1)
+}
+
+/// L2 bank servicing `addr` with `num_banks` line-interleaved banks.
+#[inline]
+pub fn bank_of(addr: u64, num_banks: u32) -> u32 {
+    (line_index(addr) % num_banks as u64) as u32
+}
+
+/// L1 bank servicing `addr` with `num_banks` line-interleaved banks.
+/// Identical mapping to [`bank_of`]; a separate name keeps call sites
+/// self-documenting.
+#[inline]
+pub fn l1_bank_of(addr: u64, num_banks: u32) -> u32 {
+    bank_of(addr, num_banks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_arithmetic() {
+        assert_eq!(line_base(0), 0);
+        assert_eq!(line_base(63), 0);
+        assert_eq!(line_base(64), 64);
+        assert_eq!(line_index(128), 2);
+        assert_eq!(line_base(0xdead_beef), 0xdead_beef & !63);
+    }
+
+    #[test]
+    fn page_arithmetic() {
+        assert_eq!(page_base(0), 0);
+        assert_eq!(page_base(8191), 0);
+        assert_eq!(page_base(8192), 8192);
+    }
+
+    #[test]
+    fn banks_interleave_by_line() {
+        // Consecutive lines land on consecutive banks.
+        for i in 0..16u64 {
+            assert_eq!(bank_of(i * LINE_BYTES, 4), (i % 4) as u32);
+        }
+        // All bytes of one line map to the same bank.
+        for off in 0..LINE_BYTES {
+            assert_eq!(bank_of(5 * LINE_BYTES + off, 4), bank_of(5 * LINE_BYTES, 4));
+        }
+    }
+
+    #[test]
+    fn bank_of_covers_all_banks() {
+        let mut seen = [false; 8];
+        for i in 0..64u64 {
+            seen[bank_of(i * LINE_BYTES, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,120 @@
+//! Main memory model.
+//!
+//! Fig. 1 specifies a flat 250-cycle main-memory latency. We model a
+//! fixed-latency queue with an optional bound on concurrently open
+//! requests (unbounded by default, matching the paper's setup where DRAM
+//! bandwidth is never the bottleneck under study).
+
+use std::collections::VecDeque;
+
+/// Fixed-latency main memory.
+#[derive(Debug)]
+pub struct Dram<T> {
+    latency: u64,
+    /// Max requests in service at once; `0` = unlimited.
+    max_inflight: usize,
+    /// (ready_at, payload) in service, ordered by ready_at.
+    in_service: VecDeque<(u64, T)>,
+    /// Requests waiting for a service slot (only if bounded).
+    waiting: VecDeque<T>,
+    accepted: u64,
+    completed: u64,
+}
+
+impl<T> Dram<T> {
+    /// Memory with `latency` cycles per access and `max_inflight`
+    /// concurrent requests (0 = unlimited).
+    pub fn new(latency: u64, max_inflight: usize) -> Self {
+        Dram {
+            latency,
+            max_inflight,
+            in_service: VecDeque::new(),
+            waiting: VecDeque::new(),
+            accepted: 0,
+            completed: 0,
+        }
+    }
+
+    /// Submit a request at cycle `now`.
+    pub fn request(&mut self, now: u64, payload: T) {
+        self.accepted += 1;
+        if self.max_inflight == 0 || self.in_service.len() < self.max_inflight {
+            self.in_service.push_back((now + self.latency, payload));
+        } else {
+            self.waiting.push_back(payload);
+        }
+    }
+
+    /// Advance to cycle `now`; returns payloads whose access completed.
+    pub fn tick(&mut self, now: u64) -> Vec<T> {
+        let mut done = Vec::new();
+        while let Some(&(t, _)) = self.in_service.front() {
+            if t <= now {
+                done.push(self.in_service.pop_front().unwrap().1);
+                self.completed += 1;
+                // Promote a waiter into the freed slot.
+                if let Some(w) = self.waiting.pop_front() {
+                    self.in_service.push_back((now + self.latency, w));
+                }
+            } else {
+                break;
+            }
+        }
+        done
+    }
+
+    /// Requests currently in service or waiting.
+    pub fn pending(&self) -> usize {
+        self.in_service.len() + self.waiting.len()
+    }
+
+    /// (accepted, completed).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.accepted, self.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_after_latency() {
+        let mut d: Dram<u32> = Dram::new(250, 0);
+        d.request(0, 1);
+        assert!(d.tick(249).is_empty());
+        assert_eq!(d.tick(250), vec![1]);
+    }
+
+    #[test]
+    fn unlimited_inflight_overlaps() {
+        let mut d: Dram<u32> = Dram::new(10, 0);
+        d.request(0, 1);
+        d.request(0, 2);
+        d.request(5, 3);
+        assert_eq!(d.tick(10), vec![1, 2]);
+        assert_eq!(d.tick(15), vec![3]);
+    }
+
+    #[test]
+    fn bounded_inflight_queues() {
+        let mut d: Dram<u32> = Dram::new(10, 1);
+        d.request(0, 1);
+        d.request(0, 2);
+        assert_eq!(d.pending(), 2);
+        assert_eq!(d.tick(10), vec![1]);
+        // Request 2 started at cycle 10, finishes at 20.
+        assert!(d.tick(19).is_empty());
+        assert_eq!(d.tick(20), vec![2]);
+    }
+
+    #[test]
+    fn stats_track_accepted_and_completed() {
+        let mut d: Dram<u32> = Dram::new(5, 0);
+        d.request(0, 1);
+        d.request(1, 2);
+        d.tick(100);
+        assert_eq!(d.stats(), (2, 2));
+        assert_eq!(d.pending(), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Miss Status Holding Registers.
+//!
+//! Paper §3.2: "Within each core it is also implemented a 16-entry MSHR
+//! queue that keeps track of the outstanding memory requests." Secondary
+//! misses to a line already being fetched merge into the existing entry
+//! instead of generating new bus traffic; a full MSHR file stalls further
+//! misses.
+
+/// Result of trying to allocate an MSHR entry for a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAlloc {
+    /// New entry allocated — the caller must send the request downstream.
+    Primary,
+    /// Merged into an existing entry for the same line — no new traffic.
+    Merged,
+    /// No entry free and no matching line: the miss cannot proceed.
+    Full,
+}
+
+/// One in-flight line fetch.
+#[derive(Debug, Clone)]
+pub struct MshrEntry {
+    /// Line base address being fetched.
+    pub line: u64,
+    /// Request ids waiting on this line (primary first).
+    pub waiters: Vec<u64>,
+}
+
+/// A fixed-capacity MSHR file.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+    merges: u64,
+    full_rejects: u64,
+    peak_occupancy: usize,
+}
+
+impl MshrFile {
+    /// File with `capacity` entries (16 in the paper's cores).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR needs at least one entry");
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            merges: 0,
+            full_rejects: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// Try to track a miss of `req` on `line`.
+    pub fn allocate(&mut self, line: u64, req: u64) -> MshrAlloc {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            e.waiters.push(req);
+            self.merges += 1;
+            return MshrAlloc::Merged;
+        }
+        if self.entries.len() == self.capacity {
+            self.full_rejects += 1;
+            return MshrAlloc::Full;
+        }
+        self.entries.push(MshrEntry {
+            line,
+            waiters: vec![req],
+        });
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        MshrAlloc::Primary
+    }
+
+    /// The line fetch completed: remove its entry and return all waiting
+    /// request ids.
+    pub fn complete(&mut self, line: u64) -> Option<MshrEntry> {
+        let idx = self.entries.iter().position(|e| e.line == line)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// True when `line` is already being fetched.
+    pub fn contains(&self, line: u64) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Requests currently waiting on `line`, if it is being fetched.
+    pub fn waiters(&self, line: u64) -> Option<&[u64]> {
+        self.entries
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| e.waiters.as_slice())
+    }
+
+    /// Live entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no further primary miss can be accepted.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// (merges, full-rejects, peak occupancy).
+    pub fn stats(&self) -> (u64, u64, usize) {
+        (self.merges, self.full_rejects, self.peak_occupancy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_merge() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.allocate(0x40, 1), MshrAlloc::Primary);
+        assert_eq!(m.allocate(0x40, 2), MshrAlloc::Merged);
+        assert_eq!(m.occupancy(), 1);
+        let e = m.complete(0x40).unwrap();
+        assert_eq!(e.waiters, vec![1, 2]);
+        assert_eq!(m.occupancy(), 0);
+    }
+
+    #[test]
+    fn full_rejects_new_lines_but_merges_existing() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(0x00, 1), MshrAlloc::Primary);
+        assert_eq!(m.allocate(0x40, 2), MshrAlloc::Primary);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(0x80, 3), MshrAlloc::Full);
+        assert_eq!(m.allocate(0x40, 4), MshrAlloc::Merged);
+        let (merges, rejects, peak) = m.stats();
+        assert_eq!((merges, rejects, peak), (1, 1, 2));
+    }
+
+    #[test]
+    fn complete_unknown_line_is_none() {
+        let mut m = MshrFile::new(2);
+        assert!(m.complete(0x1000).is_none());
+    }
+
+    #[test]
+    fn contains_tracks_lines() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x40, 1);
+        assert!(m.contains(0x40));
+        assert!(!m.contains(0x80));
+        m.complete(0x40);
+        assert!(!m.contains(0x40));
+    }
+
+    #[test]
+    fn freed_entry_reusable() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.allocate(0x00, 1), MshrAlloc::Primary);
+        assert_eq!(m.allocate(0x40, 2), MshrAlloc::Full);
+        m.complete(0x00);
+        assert_eq!(m.allocate(0x40, 2), MshrAlloc::Primary);
+    }
+}

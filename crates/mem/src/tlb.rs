@@ -1,0 +1,127 @@
+//! Fully-associative translation lookaside buffer.
+//!
+//! Fig. 1: 512-entry fully-associative I-TLB and D-TLB with a 300-cycle
+//! miss penalty. The simulator has no page tables; a TLB miss simply
+//! charges the hardware-walk latency to the access and installs the
+//! translation.
+
+use crate::addr::page_base;
+
+/// Fully-associative, true-LRU TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    /// (page base, last-use stamp); linear scan — 512 entries is small
+    /// and misses are rare enough that simplicity wins.
+    entries: Vec<(u64, u64)>,
+    capacity: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// TLB with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translate the page of `addr`. Returns `true` on a hit; on a miss
+    /// the translation is installed (evicting the LRU entry if full).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stamp += 1;
+        let page = page_base(addr);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
+            e.1 = self.stamp;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .unwrap();
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((page, self.stamp));
+        false
+    }
+
+    /// (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of resident translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no translations are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_BYTES;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(0x1234));
+        assert!(t.access(0x1234));
+        assert!(t.access(0x1fff)); // same page
+        assert!(!t.access(PAGE_BYTES)); // next page
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2);
+        t.access(0); // page 0
+        t.access(PAGE_BYTES); // page 1
+        t.access(0); // page 0 freshened
+        t.access(2 * PAGE_BYTES); // evicts page 1
+        assert!(t.access(0));
+        assert!(!t.access(PAGE_BYTES));
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut t = Tlb::new(8);
+        for i in 0..100u64 {
+            t.access(i * PAGE_BYTES);
+            assert!(t.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn stats_count_correctly() {
+        let mut t = Tlb::new(512);
+        for i in 0..10u64 {
+            t.access(i * PAGE_BYTES);
+        }
+        for i in 0..10u64 {
+            t.access(i * PAGE_BYTES);
+        }
+        assert_eq!(t.stats(), (10, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Small allocation-free utilities used across the memory system.
+
+/// A slab allocator with stable `u32` keys and a free list.
+///
+/// The memory system keeps every in-flight request in a slab: insertion
+/// and removal are O(1), keys stay valid until removed, and — unlike a
+/// `HashMap` — the hot path never hashes or allocates once the slab has
+/// warmed up (The Rust Performance Book's advice on avoiding default
+/// `HashMap`s in hot loops).
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    entries: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Empty slab with room for `cap` entries before reallocation.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            entries: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Insert a value, returning its key.
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if let Some(k) = self.free.pop() {
+            self.entries[k as usize] = Some(value);
+            k
+        } else {
+            self.entries.push(Some(value));
+            (self.entries.len() - 1) as u32
+        }
+    }
+
+    /// Remove and return the value under `key`.
+    pub fn remove(&mut self, key: u32) -> Option<T> {
+        let slot = self.entries.get_mut(key as usize)?;
+        let v = slot.take();
+        if v.is_some() {
+            self.free.push(key);
+            self.len -= 1;
+        }
+        v
+    }
+
+    /// Borrow the value under `key`.
+    pub fn get(&self, key: u32) -> Option<&T> {
+        self.entries.get(key as usize)?.as_ref()
+    }
+
+    /// Mutably borrow the value under `key`.
+    pub fn get_mut(&mut self, key: u32) -> Option<&mut T> {
+        self.entries.get_mut(key as usize)?.as_mut()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over `(key, &value)` pairs of live entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(k, v)| v.as_ref().map(|v| (k as u32, v)))
+    }
+
+    /// Iterate over `(key, &mut value)` pairs of live entries.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u32, &mut T)> {
+        self.entries
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(k, v)| v.as_mut().map(|v| (k as u32, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get(b), Some(&"b"));
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn keys_are_reused_after_removal() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let b = s.insert(2);
+        assert_eq!(a, b, "slab should reuse freed slots");
+        assert_eq!(s.get(b), Some(&2));
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        assert_eq!(s.remove(a), Some(1));
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn iter_visits_only_live() {
+        let mut s = Slab::new();
+        let _a = s.insert(10);
+        let b = s.insert(20);
+        let _c = s.insert(30);
+        s.remove(b);
+        let vals: Vec<i32> = s.iter().map(|(_, &v)| v).collect();
+        assert_eq!(vals, vec![10, 30]);
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut s = Slab::new();
+        let a = s.insert(5);
+        *s.get_mut(a).unwrap() += 1;
+        assert_eq!(s.get(a), Some(&6));
+    }
+
+    #[test]
+    fn out_of_range_keys_are_none() {
+        let s: Slab<u8> = Slab::new();
+        assert_eq!(s.get(42), None);
+    }
+}

@@ -1,0 +1,243 @@
+//! Adaptive-trigger FLUSH — an extension born directly out of the
+//! paper's Fig. 5 finding that "there may be different trigger values
+//! which best balance false misses and clogged resources … the choice
+//! of the right value depends on each specific workload".
+//!
+//! Instead of predicting per-access resolution times like MFLUSH, this
+//! policy keeps the plain FLUSH machinery but hill-climbs the trigger
+//! online: every epoch it compares committed throughput against the
+//! previous epoch; if the last trigger move helped, it keeps moving in
+//! the same direction, otherwise it reverses. A contrast point for the
+//! benches: adaptivity *of the threshold* vs MFLUSH's adaptivity *of
+//! the prediction*.
+
+use crate::flush::{DetectionState, FlushTrigger};
+use crate::types::{icount_order, FetchPolicy, LoadToken, PolicyAction, ThreadSnapshot};
+
+/// Tuning bounds and cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveFlushConfig {
+    /// Initial trigger (cycles after issue).
+    pub initial: u64,
+    /// Smallest allowed trigger.
+    pub min: u64,
+    /// Largest allowed trigger.
+    pub max: u64,
+    /// Trigger adjustment per epoch.
+    pub step: u64,
+    /// Epoch length in cycles.
+    pub epoch: u64,
+}
+
+impl Default for AdaptiveFlushConfig {
+    fn default() -> Self {
+        AdaptiveFlushConfig {
+            initial: 60,
+            min: 30,
+            max: 150,
+            step: 10,
+            epoch: 8192,
+        }
+    }
+}
+
+/// The adaptive-trigger FLUSH policy.
+pub struct AdaptiveFlushPolicy {
+    cfg: AdaptiveFlushConfig,
+    state: DetectionState,
+    trigger: u64,
+    /// +1 / −1 hill-climbing direction.
+    direction: i64,
+    epoch_start: u64,
+    last_committed: u64,
+    last_epoch_throughput: f64,
+    adjustments: u64,
+}
+
+impl AdaptiveFlushPolicy {
+    /// Policy with default tuning.
+    pub fn new() -> Self {
+        Self::with_config(AdaptiveFlushConfig::default())
+    }
+
+    /// Policy with explicit tuning.
+    pub fn with_config(cfg: AdaptiveFlushConfig) -> Self {
+        assert!(cfg.min <= cfg.initial && cfg.initial <= cfg.max);
+        assert!(cfg.step > 0 && cfg.epoch > 0);
+        AdaptiveFlushPolicy {
+            state: DetectionState::new(FlushTrigger::DelayAfterIssue(cfg.initial)),
+            trigger: cfg.initial,
+            direction: 1,
+            epoch_start: 0,
+            last_committed: 0,
+            last_epoch_throughput: -1.0,
+            adjustments: 0,
+            cfg,
+        }
+    }
+
+    /// Current trigger value.
+    pub fn trigger(&self) -> u64 {
+        self.trigger
+    }
+
+    /// Trigger adjustments performed.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    fn maybe_adjust(&mut self, cycle: u64, snaps: &[ThreadSnapshot]) {
+        if cycle.saturating_sub(self.epoch_start) < self.cfg.epoch {
+            return;
+        }
+        let committed: u64 = snaps.iter().map(|s| s.committed).sum();
+        let throughput =
+            (committed - self.last_committed) as f64 / (cycle - self.epoch_start) as f64;
+        if self.last_epoch_throughput >= 0.0 {
+            if throughput < self.last_epoch_throughput {
+                self.direction = -self.direction;
+            }
+            let next = (self.trigger as i64 + self.direction * self.cfg.step as i64)
+                .clamp(self.cfg.min as i64, self.cfg.max as i64) as u64;
+            if next != self.trigger {
+                self.trigger = next;
+                self.state.set_trigger_delay(next);
+                self.adjustments += 1;
+            } else {
+                // Pinned at a bound: probe back inwards.
+                self.direction = -self.direction;
+            }
+        }
+        self.last_epoch_throughput = throughput;
+        self.last_committed = committed;
+        self.epoch_start = cycle;
+    }
+}
+
+impl Default for AdaptiveFlushPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FetchPolicy for AdaptiveFlushPolicy {
+    fn name(&self) -> String {
+        "FLUSH-ADAPT".into()
+    }
+
+    fn tick(&mut self, cycle: u64, snaps: &[ThreadSnapshot], actions: &mut Vec<PolicyAction>) {
+        self.maybe_adjust(cycle, snaps);
+        for (tid, token) in self.state.detect(cycle) {
+            actions.push(PolicyAction::Flush { tid, token });
+        }
+    }
+
+    fn fetch_priority(&mut self, _cycle: u64, snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {
+        icount_order(snaps, out);
+    }
+
+    fn on_load_issue(&mut self, tid: usize, token: LoadToken, _pc: u64, cycle: u64) {
+        self.state.on_load_issue(tid, token, cycle);
+    }
+
+    fn on_load_complete(
+        &mut self,
+        _tid: usize,
+        token: LoadToken,
+        _bank: u32,
+        _l2_hit: Option<bool>,
+        _latency: u64,
+        _cycle: u64,
+    ) {
+        self.state.forget(token);
+    }
+
+    fn on_load_squashed(&mut self, _tid: usize, token: LoadToken) {
+        self.state.forget(token);
+    }
+
+    fn on_thread_resumed(&mut self, tid: usize, _cycle: u64) {
+        self.state.on_thread_resumed(tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snaps(committed: u64) -> Vec<ThreadSnapshot> {
+        let mut a = ThreadSnapshot::idle(0);
+        a.committed = committed;
+        vec![a, ThreadSnapshot::idle(1)]
+    }
+
+    #[test]
+    fn starts_at_initial_trigger() {
+        let p = AdaptiveFlushPolicy::new();
+        assert_eq!(p.trigger(), 60);
+        assert_eq!(p.name(), "FLUSH-ADAPT");
+    }
+
+    #[test]
+    fn climbs_while_throughput_improves() {
+        let mut p = AdaptiveFlushPolicy::with_config(AdaptiveFlushConfig {
+            initial: 60,
+            min: 30,
+            max: 150,
+            step: 10,
+            epoch: 100,
+        });
+        let mut actions = Vec::new();
+        // Epoch 1 establishes the baseline, epoch 2 sees improvement →
+        // keep direction (+10), epoch 3 improves again → +10 more.
+        p.tick(100, &snaps(100), &mut actions); // baseline (no move yet)
+        p.tick(200, &snaps(300), &mut actions); // improved: move +10
+        assert_eq!(p.trigger(), 70);
+        p.tick(300, &snaps(600), &mut actions); // improved again: +10
+        assert_eq!(p.trigger(), 80);
+        assert_eq!(p.adjustments(), 2);
+    }
+
+    #[test]
+    fn reverses_when_throughput_drops() {
+        let mut p = AdaptiveFlushPolicy::with_config(AdaptiveFlushConfig {
+            initial: 60,
+            min: 30,
+            max: 150,
+            step: 10,
+            epoch: 100,
+        });
+        let mut actions = Vec::new();
+        p.tick(100, &snaps(100), &mut actions); // baseline
+        p.tick(200, &snaps(300), &mut actions); // up → 70
+        p.tick(300, &snaps(350), &mut actions); // worse → reverse → 60
+        assert_eq!(p.trigger(), 60);
+    }
+
+    #[test]
+    fn trigger_stays_within_bounds() {
+        let mut p = AdaptiveFlushPolicy::with_config(AdaptiveFlushConfig {
+            initial: 140,
+            min: 30,
+            max: 150,
+            step: 20,
+            epoch: 100,
+        });
+        let mut actions = Vec::new();
+        let mut committed = 0;
+        for e in 1..20u64 {
+            committed += 100 * e; // monotonically improving
+            p.tick(e * 100, &snaps(committed), &mut actions);
+            assert!((30..=150).contains(&p.trigger()), "trigger {}", p.trigger());
+        }
+    }
+
+    #[test]
+    fn flush_machinery_still_fires() {
+        let mut p = AdaptiveFlushPolicy::new();
+        p.on_load_issue(0, 9, 0, 0);
+        let mut actions = Vec::new();
+        p.tick(60, &snaps(0), &mut actions);
+        assert_eq!(actions, vec![PolicyAction::Flush { tid: 0, token: 9 }]);
+    }
+}

@@ -1,0 +1,233 @@
+//! ADTS-style adaptive scheduling (Shin, Lee & Gaudiot; paper §5).
+//!
+//! The related-work Adaptive Dynamic Thread Scheduling improves SMT
+//! throughput by switching the fetch heuristic — among ICOUNT, BRCOUNT
+//! and L1DMISSCOUNT — according to the workload's current behaviour.
+//! This is an *extension* beyond the paper's evaluated policies,
+//! implemented so the bench suite can compare adaptivity-in-priority
+//! (ADTS) against adaptivity-in-detection (MFLUSH).
+//!
+//! Heuristic: over fixed epochs, measure branch pressure (unresolved
+//! branches per thread-cycle) and memory pressure (outstanding L1D
+//! misses per thread-cycle); at each epoch boundary pick the heuristic
+//! targeting the dominant pressure.
+
+use crate::count_variants::{BrcountPolicy, L1dMissCountPolicy};
+use crate::icount::IcountPolicy;
+use crate::types::{FetchPolicy, LoadToken, PolicyAction, ThreadSnapshot};
+
+/// Which heuristic is currently active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActiveHeuristic {
+    Icount,
+    Brcount,
+    L1dMissCount,
+}
+
+/// The adaptive meta-policy.
+pub struct AdtsPolicy {
+    epoch_cycles: u64,
+    /// Pressure thresholds (per thread, time-averaged) that switch away
+    /// from ICOUNT.
+    branch_threshold: f64,
+    miss_threshold: f64,
+    active: ActiveHeuristic,
+    icount: IcountPolicy,
+    brcount: BrcountPolicy,
+    misscount: L1dMissCountPolicy,
+    // Epoch accumulators.
+    epoch_start: u64,
+    samples: u64,
+    branch_sum: u64,
+    miss_sum: u64,
+    switches: u64,
+}
+
+impl AdtsPolicy {
+    /// ADTS with the default 4096-cycle epoch.
+    pub fn new() -> Self {
+        Self::with_epoch(4096)
+    }
+
+    /// ADTS with a custom epoch length.
+    pub fn with_epoch(epoch_cycles: u64) -> Self {
+        assert!(epoch_cycles > 0);
+        AdtsPolicy {
+            epoch_cycles,
+            branch_threshold: 3.0,
+            miss_threshold: 1.5,
+            active: ActiveHeuristic::Icount,
+            icount: IcountPolicy::new(),
+            brcount: BrcountPolicy::new(),
+            misscount: L1dMissCountPolicy::new(),
+            epoch_start: 0,
+            samples: 0,
+            branch_sum: 0,
+            miss_sum: 0,
+            switches: 0,
+        }
+    }
+
+    /// Currently active heuristic.
+    pub fn active(&self) -> ActiveHeuristic {
+        self.active
+    }
+
+    /// Number of heuristic switches so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    fn maybe_switch(&mut self, cycle: u64) {
+        if cycle.saturating_sub(self.epoch_start) < self.epoch_cycles || self.samples == 0 {
+            return;
+        }
+        let per = self.samples as f64;
+        let branch_pressure = self.branch_sum as f64 / per;
+        let miss_pressure = self.miss_sum as f64 / per;
+        let next = if miss_pressure >= self.miss_threshold
+            && miss_pressure >= branch_pressure / 2.0
+        {
+            ActiveHeuristic::L1dMissCount
+        } else if branch_pressure >= self.branch_threshold {
+            ActiveHeuristic::Brcount
+        } else {
+            ActiveHeuristic::Icount
+        };
+        if next != self.active {
+            self.active = next;
+            self.switches += 1;
+        }
+        self.epoch_start = cycle;
+        self.samples = 0;
+        self.branch_sum = 0;
+        self.miss_sum = 0;
+    }
+}
+
+impl Default for AdtsPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FetchPolicy for AdtsPolicy {
+    fn name(&self) -> String {
+        "ADTS".into()
+    }
+
+    fn tick(&mut self, cycle: u64, snaps: &[ThreadSnapshot], _actions: &mut Vec<PolicyAction>) {
+        self.samples += 1;
+        self.branch_sum += snaps
+            .iter()
+            .map(|s| s.branches_in_flight as u64)
+            .sum::<u64>();
+        self.miss_sum += snaps
+            .iter()
+            .map(|s| s.l1d_misses_in_flight as u64)
+            .sum::<u64>();
+        self.maybe_switch(cycle);
+    }
+
+    fn fetch_priority(&mut self, cycle: u64, snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {
+        match self.active {
+            ActiveHeuristic::Icount => self.icount.fetch_priority(cycle, snaps, out),
+            ActiveHeuristic::Brcount => self.brcount.fetch_priority(cycle, snaps, out),
+            ActiveHeuristic::L1dMissCount => self.misscount.fetch_priority(cycle, snaps, out),
+        }
+    }
+
+    fn on_l1d_miss(&mut self, tid: usize, token: LoadToken, bank: u32, cycle: u64) {
+        self.misscount.on_l1d_miss(tid, token, bank, cycle);
+    }
+
+    fn on_load_complete(
+        &mut self,
+        tid: usize,
+        token: LoadToken,
+        bank: u32,
+        l2_hit: Option<bool>,
+        latency: u64,
+        cycle: u64,
+    ) {
+        self.misscount
+            .on_load_complete(tid, token, bank, l2_hit, latency, cycle);
+    }
+
+    fn on_load_squashed(&mut self, tid: usize, token: LoadToken) {
+        self.misscount.on_load_squashed(tid, token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snaps(branches: u32, misses: u32) -> Vec<ThreadSnapshot> {
+        let mut a = ThreadSnapshot::idle(0);
+        a.branches_in_flight = branches;
+        a.l1d_misses_in_flight = misses;
+        vec![a, ThreadSnapshot::idle(1)]
+    }
+
+    #[test]
+    fn starts_with_icount() {
+        assert_eq!(AdtsPolicy::new().active(), ActiveHeuristic::Icount);
+    }
+
+    #[test]
+    fn switches_to_misscount_under_memory_pressure() {
+        let mut p = AdtsPolicy::with_epoch(100);
+        let mut actions = Vec::new();
+        for c in 0..=100 {
+            p.tick(c, &snaps(0, 8), &mut actions);
+        }
+        assert_eq!(p.active(), ActiveHeuristic::L1dMissCount);
+        assert_eq!(p.switches(), 1);
+    }
+
+    #[test]
+    fn switches_to_brcount_under_branch_pressure() {
+        let mut p = AdtsPolicy::with_epoch(100);
+        let mut actions = Vec::new();
+        for c in 0..=100 {
+            p.tick(c, &snaps(10, 0), &mut actions);
+        }
+        assert_eq!(p.active(), ActiveHeuristic::Brcount);
+    }
+
+    #[test]
+    fn returns_to_icount_when_calm() {
+        let mut p = AdtsPolicy::with_epoch(100);
+        let mut actions = Vec::new();
+        for c in 0..=100 {
+            p.tick(c, &snaps(10, 0), &mut actions);
+        }
+        assert_eq!(p.active(), ActiveHeuristic::Brcount);
+        for c in 101..=201 {
+            p.tick(c, &snaps(0, 0), &mut actions);
+        }
+        assert_eq!(p.active(), ActiveHeuristic::Icount);
+        assert_eq!(p.switches(), 2);
+    }
+
+    #[test]
+    fn no_switch_mid_epoch() {
+        let mut p = AdtsPolicy::with_epoch(1_000);
+        let mut actions = Vec::new();
+        for c in 0..500 {
+            p.tick(c, &snaps(10, 10), &mut actions);
+        }
+        assert_eq!(p.active(), ActiveHeuristic::Icount);
+    }
+
+    #[test]
+    fn emits_no_gating_actions() {
+        let mut p = AdtsPolicy::with_epoch(10);
+        let mut actions = Vec::new();
+        for c in 0..100 {
+            p.tick(c, &snaps(10, 10), &mut actions);
+        }
+        assert!(actions.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! BRCOUNT and L1DMISSCOUNT (Tullsen et al., ISCA'96) — the alternative
+//! counting heuristics the related-work section's ADTS scheduler
+//! switches between. Neither takes any response action; like ICOUNT they
+//! only reorder fetch priority.
+
+use crate::types::{FetchPolicy, LoadToken, PolicyAction, ThreadSnapshot};
+
+/// BRCOUNT: prioritise threads with the fewest unresolved branches in
+/// flight — fewer wrong-path instructions fetched.
+#[derive(Debug, Default, Clone)]
+pub struct BrcountPolicy;
+
+impl BrcountPolicy {
+    /// Construct the policy.
+    pub fn new() -> Self {
+        BrcountPolicy
+    }
+}
+
+impl FetchPolicy for BrcountPolicy {
+    fn name(&self) -> String {
+        "BRCOUNT".into()
+    }
+
+    fn tick(&mut self, _cycle: u64, _snaps: &[ThreadSnapshot], _actions: &mut Vec<PolicyAction>) {}
+
+    fn fetch_priority(&mut self, _cycle: u64, snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(snaps.iter().map(|s| s.tid));
+        out.sort_by_key(|&tid| {
+            let s = snaps.iter().find(|s| s.tid == tid).unwrap();
+            (s.branches_in_flight, tid as u32)
+        });
+    }
+}
+
+/// L1DMISSCOUNT (the ISCA'96 "MISSCOUNT"): prioritise threads with the
+/// fewest outstanding D-cache misses.
+#[derive(Debug, Default, Clone)]
+pub struct L1dMissCountPolicy {
+    /// Outstanding L1D misses per thread, maintained from load events
+    /// (more precise than the snapshot, and keeps this policy usable
+    /// standalone in tests).
+    outstanding: Vec<u32>,
+    /// Tokens currently counted, so completions decrement exactly once.
+    tracked: Vec<(usize, LoadToken)>,
+}
+
+impl L1dMissCountPolicy {
+    /// Construct the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bump(&mut self, tid: usize, delta: i32) {
+        if self.outstanding.len() <= tid {
+            self.outstanding.resize(tid + 1, 0);
+        }
+        let v = &mut self.outstanding[tid];
+        *v = v.saturating_add_signed(delta);
+    }
+}
+
+impl FetchPolicy for L1dMissCountPolicy {
+    fn name(&self) -> String {
+        "L1DMISSCOUNT".into()
+    }
+
+    fn tick(&mut self, _cycle: u64, _snaps: &[ThreadSnapshot], _actions: &mut Vec<PolicyAction>) {}
+
+    fn fetch_priority(&mut self, _cycle: u64, snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(snaps.iter().map(|s| s.tid));
+        let outstanding = &self.outstanding;
+        out.sort_by_key(|&tid| {
+            (
+                outstanding.get(tid).copied().unwrap_or(0),
+                tid as u32,
+            )
+        });
+    }
+
+    fn on_l1d_miss(&mut self, tid: usize, token: LoadToken, _bank: u32, _cycle: u64) {
+        self.tracked.push((tid, token));
+        self.bump(tid, 1);
+    }
+
+    fn on_load_complete(
+        &mut self,
+        tid: usize,
+        token: LoadToken,
+        _bank: u32,
+        _l2_hit: Option<bool>,
+        _latency: u64,
+        _cycle: u64,
+    ) {
+        if let Some(i) = self.tracked.iter().position(|&(_, t)| t == token) {
+            self.tracked.swap_remove(i);
+            self.bump(tid, -1);
+        }
+    }
+
+    fn on_load_squashed(&mut self, tid: usize, token: LoadToken) {
+        if let Some(i) = self.tracked.iter().position(|&(_, t)| t == token) {
+            self.tracked.swap_remove(i);
+            self.bump(tid, -1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brcount_prefers_fewer_branches() {
+        let mut p = BrcountPolicy::new();
+        let mut a = ThreadSnapshot::idle(0);
+        let mut b = ThreadSnapshot::idle(1);
+        a.branches_in_flight = 4;
+        b.branches_in_flight = 1;
+        let mut out = Vec::new();
+        p.fetch_priority(0, &[a, b], &mut out);
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn l1dmisscount_tracks_misses() {
+        let mut p = L1dMissCountPolicy::new();
+        let snaps = [ThreadSnapshot::idle(0), ThreadSnapshot::idle(1)];
+        let mut out = Vec::new();
+        p.on_l1d_miss(0, 1, 0, 10);
+        p.on_l1d_miss(0, 2, 1, 11);
+        p.fetch_priority(12, &snaps, &mut out);
+        assert_eq!(out, vec![1, 0], "thread 0 has outstanding misses");
+        p.on_load_complete(0, 1, 0, Some(true), 30, 40);
+        p.on_load_complete(0, 2, 1, Some(true), 30, 41);
+        p.fetch_priority(42, &snaps, &mut out);
+        assert_eq!(out, vec![0, 1], "tie-break by tid once drained");
+    }
+
+    #[test]
+    fn l1dmisscount_handles_squashes() {
+        let mut p = L1dMissCountPolicy::new();
+        p.on_l1d_miss(1, 7, 0, 0);
+        p.on_load_squashed(1, 7);
+        let snaps = [ThreadSnapshot::idle(0), ThreadSnapshot::idle(1)];
+        let mut out = Vec::new();
+        p.fetch_priority(1, &snaps, &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_completion_does_not_underflow() {
+        let mut p = L1dMissCountPolicy::new();
+        p.on_l1d_miss(0, 1, 0, 0);
+        p.on_load_complete(0, 1, 0, Some(true), 25, 25);
+        p.on_load_complete(0, 1, 0, Some(true), 25, 26); // spurious
+        let snaps = [ThreadSnapshot::idle(0)];
+        let mut out = Vec::new();
+        p.fetch_priority(27, &snaps, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn no_actions_ever() {
+        let mut p = L1dMissCountPolicy::new();
+        let mut actions = Vec::new();
+        p.tick(0, &[ThreadSnapshot::idle(0)], &mut actions);
+        assert!(actions.is_empty());
+    }
+}

@@ -1,0 +1,357 @@
+//! The FLUSH policy (Tullsen & Brown, MICRO'01) in both detection
+//! variants used by the paper:
+//!
+//! * **FL-SX** (*speculative*, delay-after-issue): a load that has been
+//!   outstanding more than X cycles after issuing from the load/store
+//!   queue is declared an L2 miss. Fast but unreliable — an L2 *hit*
+//!   delayed past X by bank/bus contention becomes a "false miss", the
+//!   failure mode that grows with core count (paper §3.2).
+//! * **FL-NS** (*non-speculative*, trigger-on-miss): wait until the L2
+//!   lookup actually misses. Totally reliable but late.
+//!
+//! Response action: squash everything younger than the offending load,
+//! free the thread's resources, gate its fetch until the load resolves.
+
+use crate::types::{icount_order, FetchPolicy, LoadToken, PolicyAction, ThreadSnapshot};
+use serde::{Deserialize, Serialize};
+
+/// Detection moment for FLUSH/STALL-style policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlushTrigger {
+    /// Speculative: trigger `0.X` cycles after LSQ issue (paper sweeps
+    /// 30–150).
+    DelayAfterIssue(u64),
+    /// Non-speculative: trigger when the L2 lookup misses.
+    OnL2Miss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TrackedLoad {
+    token: LoadToken,
+    tid: usize,
+    issued_at: u64,
+    triggered: bool,
+}
+
+/// Shared bookkeeping for FLUSH and STALL (same detection machinery,
+/// different response action).
+#[derive(Debug, Clone)]
+pub(crate) struct DetectionState {
+    trigger: FlushTrigger,
+    loads: Vec<TrackedLoad>,
+    /// Threads currently gated by our own response action.
+    gated: Vec<bool>,
+    /// L2-miss events awaiting the next tick (FL-NS).
+    pending_miss: Vec<(usize, LoadToken)>,
+    /// Trigger count (statistics / tests).
+    pub triggers: u64,
+}
+
+impl DetectionState {
+    pub(crate) fn new(trigger: FlushTrigger) -> Self {
+        DetectionState {
+            trigger,
+            loads: Vec::new(),
+            gated: Vec::new(),
+            pending_miss: Vec::new(),
+            triggers: 0,
+        }
+    }
+
+    /// The configured detection moment.
+    pub(crate) fn trigger_kind(&self) -> FlushTrigger {
+        self.trigger
+    }
+
+    /// Retune a speculative trigger delay (adaptive-trigger extension).
+    /// No-op for the non-speculative detection moment.
+    pub(crate) fn set_trigger_delay(&mut self, cycles: u64) {
+        if matches!(self.trigger, FlushTrigger::DelayAfterIssue(_)) {
+            self.trigger = FlushTrigger::DelayAfterIssue(cycles);
+        }
+    }
+
+    fn gated(&self, tid: usize) -> bool {
+        self.gated.get(tid).copied().unwrap_or(false)
+    }
+
+    fn set_gated(&mut self, tid: usize, v: bool) {
+        if self.gated.len() <= tid {
+            self.gated.resize(tid + 1, false);
+        }
+        self.gated[tid] = v;
+    }
+
+    pub(crate) fn on_load_issue(&mut self, tid: usize, token: LoadToken, cycle: u64) {
+        self.loads.push(TrackedLoad {
+            token,
+            tid,
+            issued_at: cycle,
+            triggered: false,
+        });
+    }
+
+    pub(crate) fn on_l2_miss(&mut self, tid: usize, token: LoadToken) {
+        if self.trigger == FlushTrigger::OnL2Miss {
+            self.pending_miss.push((tid, token));
+        }
+    }
+
+    pub(crate) fn forget(&mut self, token: LoadToken) {
+        self.loads.retain(|l| l.token != token);
+        self.pending_miss.retain(|&(_, t)| t != token);
+    }
+
+    pub(crate) fn on_thread_resumed(&mut self, tid: usize) {
+        self.set_gated(tid, false);
+    }
+
+    /// Detection: pick at most one victim load per un-gated thread this
+    /// cycle. Marks the thread gated (callers emit the response action).
+    pub(crate) fn detect(&mut self, cycle: u64) -> Vec<(usize, LoadToken)> {
+        let mut out: Vec<(usize, LoadToken)> = Vec::new();
+        match self.trigger {
+            FlushTrigger::DelayAfterIssue(x) => {
+                // Oldest over-threshold load per thread.
+                let mut candidates: Vec<(usize, LoadToken, u64)> = Vec::new();
+                for l in &self.loads {
+                    if l.triggered || self.gated(l.tid) {
+                        continue;
+                    }
+                    if cycle.saturating_sub(l.issued_at) >= x {
+                        match candidates.iter_mut().find(|c| c.0 == l.tid) {
+                            Some(c) if l.issued_at < c.2 => {
+                                c.1 = l.token;
+                                c.2 = l.issued_at;
+                            }
+                            Some(_) => {}
+                            None => candidates.push((l.tid, l.token, l.issued_at)),
+                        }
+                    }
+                }
+                for (tid, token, _) in candidates {
+                    out.push((tid, token));
+                }
+            }
+            FlushTrigger::OnL2Miss => {
+                let pending = std::mem::take(&mut self.pending_miss);
+                for (tid, token) in pending {
+                    if self.gated(tid) || out.iter().any(|o| o.0 == tid) {
+                        continue;
+                    }
+                    // Only if still tracked (not squashed meanwhile).
+                    if self.loads.iter().any(|l| l.token == token && !l.triggered) {
+                        out.push((tid, token));
+                    }
+                }
+            }
+        }
+        for &(tid, token) in &out {
+            self.set_gated(tid, true);
+            if let Some(l) = self.loads.iter_mut().find(|l| l.token == token) {
+                l.triggered = true;
+            }
+            self.triggers += 1;
+        }
+        out
+    }
+}
+
+/// The FLUSH policy: detection per [`FlushTrigger`], response = squash +
+/// gate.
+pub struct FlushPolicy {
+    state: DetectionState,
+}
+
+impl FlushPolicy {
+    /// Speculative FLUSH with an X-cycle delay-after-issue trigger
+    /// (the paper's FL-SX / FLUSH-SX).
+    pub fn speculative(trigger_cycles: u64) -> Self {
+        FlushPolicy {
+            state: DetectionState::new(FlushTrigger::DelayAfterIssue(trigger_cycles)),
+        }
+    }
+
+    /// Non-speculative FLUSH (the paper's FL-NS).
+    pub fn non_speculative() -> Self {
+        FlushPolicy {
+            state: DetectionState::new(FlushTrigger::OnL2Miss),
+        }
+    }
+
+    /// Generic constructor.
+    pub fn new(trigger: FlushTrigger) -> Self {
+        FlushPolicy {
+            state: DetectionState::new(trigger),
+        }
+    }
+
+    /// Number of FLUSH triggers so far.
+    pub fn triggers(&self) -> u64 {
+        self.state.triggers
+    }
+}
+
+impl FetchPolicy for FlushPolicy {
+    fn name(&self) -> String {
+        match self.state.trigger {
+            FlushTrigger::DelayAfterIssue(x) => format!("FLUSH-S{x}"),
+            FlushTrigger::OnL2Miss => "FLUSH-NS".into(),
+        }
+    }
+
+    fn tick(&mut self, cycle: u64, _snaps: &[ThreadSnapshot], actions: &mut Vec<PolicyAction>) {
+        for (tid, token) in self.state.detect(cycle) {
+            actions.push(PolicyAction::Flush { tid, token });
+        }
+    }
+
+    fn fetch_priority(&mut self, _cycle: u64, snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {
+        icount_order(snaps, out);
+    }
+
+    fn on_load_issue(&mut self, tid: usize, token: LoadToken, _pc: u64, cycle: u64) {
+        self.state.on_load_issue(tid, token, cycle);
+    }
+
+    fn on_l2_miss(&mut self, tid: usize, token: LoadToken, _cycle: u64) {
+        self.state.on_l2_miss(tid, token);
+    }
+
+    fn on_load_complete(
+        &mut self,
+        _tid: usize,
+        token: LoadToken,
+        _bank: u32,
+        _l2_hit: Option<bool>,
+        _latency: u64,
+        _cycle: u64,
+    ) {
+        self.state.forget(token);
+    }
+
+    fn on_load_squashed(&mut self, _tid: usize, token: LoadToken) {
+        self.state.forget(token);
+    }
+
+    fn on_thread_resumed(&mut self, tid: usize, _cycle: u64) {
+        self.state.on_thread_resumed(tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snaps2() -> Vec<ThreadSnapshot> {
+        vec![ThreadSnapshot::idle(0), ThreadSnapshot::idle(1)]
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FlushPolicy::speculative(30).name(), "FLUSH-S30");
+        assert_eq!(FlushPolicy::non_speculative().name(), "FLUSH-NS");
+    }
+
+    #[test]
+    fn speculative_triggers_after_delay() {
+        let mut p = FlushPolicy::speculative(30);
+        p.on_load_issue(0, 99, 0, 100);
+        let mut actions = Vec::new();
+        p.tick(129, &snaps2(), &mut actions);
+        assert!(actions.is_empty(), "29 cycles: too early");
+        p.tick(130, &snaps2(), &mut actions);
+        assert_eq!(actions, vec![PolicyAction::Flush { tid: 0, token: 99 }]);
+    }
+
+    #[test]
+    fn no_double_trigger_while_gated() {
+        let mut p = FlushPolicy::speculative(30);
+        p.on_load_issue(0, 1, 0, 0);
+        p.on_load_issue(0, 2, 0, 5);
+        let mut actions = Vec::new();
+        p.tick(100, &snaps2(), &mut actions);
+        assert_eq!(actions.len(), 1, "one flush per thread");
+        actions.clear();
+        p.tick(101, &snaps2(), &mut actions);
+        assert!(actions.is_empty(), "thread is gated until resume");
+    }
+
+    #[test]
+    fn oldest_overdue_load_is_the_victim() {
+        let mut p = FlushPolicy::speculative(10);
+        p.on_load_issue(0, 7, 0, 50); // newer
+        p.on_load_issue(0, 3, 0, 20); // older
+        let mut actions = Vec::new();
+        p.tick(100, &snaps2(), &mut actions);
+        assert_eq!(actions, vec![PolicyAction::Flush { tid: 0, token: 3 }]);
+    }
+
+    #[test]
+    fn resume_reenables_detection() {
+        let mut p = FlushPolicy::speculative(30);
+        p.on_load_issue(0, 1, 0, 0);
+        let mut actions = Vec::new();
+        p.tick(30, &snaps2(), &mut actions);
+        assert_eq!(actions.len(), 1);
+        // Offending load completes; core resumes the thread.
+        p.on_load_complete(0, 1, 0, Some(false), 272, 272);
+        p.on_thread_resumed(0, 272);
+        // A new slow load triggers again.
+        p.on_load_issue(0, 2, 0, 280);
+        actions.clear();
+        p.tick(310, &snaps2(), &mut actions);
+        assert_eq!(actions, vec![PolicyAction::Flush { tid: 0, token: 2 }]);
+        assert_eq!(p.triggers(), 2);
+    }
+
+    #[test]
+    fn completed_loads_never_trigger() {
+        let mut p = FlushPolicy::speculative(30);
+        p.on_load_issue(0, 1, 0, 0);
+        p.on_load_complete(0, 1, 2, Some(true), 25, 25);
+        let mut actions = Vec::new();
+        p.tick(100, &snaps2(), &mut actions);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn squashed_loads_are_forgotten() {
+        let mut p = FlushPolicy::speculative(30);
+        p.on_load_issue(0, 1, 0, 0);
+        p.on_load_squashed(0, 1);
+        let mut actions = Vec::new();
+        p.tick(100, &snaps2(), &mut actions);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn non_speculative_triggers_only_on_l2_miss() {
+        let mut p = FlushPolicy::non_speculative();
+        p.on_load_issue(0, 1, 0, 0);
+        let mut actions = Vec::new();
+        p.tick(500, &snaps2(), &mut actions);
+        assert!(actions.is_empty(), "no delay trigger in NS mode");
+        p.on_l2_miss(0, 1, 22);
+        p.tick(501, &snaps2(), &mut actions);
+        assert_eq!(actions, vec![PolicyAction::Flush { tid: 0, token: 1 }]);
+    }
+
+    #[test]
+    fn threads_trigger_independently() {
+        let mut p = FlushPolicy::speculative(30);
+        p.on_load_issue(0, 1, 0, 0);
+        p.on_load_issue(1, 2, 0, 0);
+        let mut actions = Vec::new();
+        p.tick(30, &snaps2(), &mut actions);
+        assert_eq!(actions.len(), 2);
+        let tids: Vec<usize> = actions
+            .iter()
+            .map(|a| match a {
+                PolicyAction::Flush { tid, .. } => *tid,
+                _ => panic!(),
+            })
+            .collect();
+        assert!(tids.contains(&0) && tids.contains(&1));
+    }
+}

@@ -1,0 +1,70 @@
+//! # smtsim-policy — SMT instruction-fetch policies
+//!
+//! The paper frames every long-latency-aware fetch policy as a
+//! *Detection Moment* (when do we decide a load will miss the L2?) plus
+//! a *Response Action* (what do we do to the offending thread?):
+//!
+//! | Policy | Detection moment | Response action |
+//! |--------|------------------|-----------------|
+//! | [`IcountPolicy`] | — | — (priority only) |
+//! | [`FlushPolicy`] FL-SX | delay-after-issue (X cycles) | squash + fetch-gate |
+//! | [`FlushPolicy`] FL-NS | actual L2 miss | squash + fetch-gate |
+//! | [`StallPolicy`] | either | fetch-gate only |
+//! | [`MflushPolicy`] | **dynamic per-bank prediction** (MCReg) with a *Preventive State* | gate early, squash only past the Barrier |
+//!
+//! Policies are decoupled from the core model: the core feeds them
+//! per-cycle [`ThreadSnapshot`]s plus memory events, and executes the
+//! [`PolicyAction`]s they emit. This mirrors how a fetch policy is just
+//! a small front-end controller in real hardware.
+//!
+//! Extensions beyond the paper's evaluation: [`RoundRobinPolicy`],
+//! [`BrcountPolicy`], [`L1dMissCountPolicy`], the ADTS-style adaptive
+//! meta-policy [`AdtsPolicy`], the DCRA-style [`DcraPolicy`] (the
+//! paper's reference [3]), the hill-climbed [`AdaptiveFlushPolicy`] and
+//! the load-miss-predictor [`MissPredictFlushPolicy`].
+//!
+//! ```
+//! use smtsim_policy::{build_policy, PolicyEnv, PolicyKind, ThreadSnapshot};
+//!
+//! // MFLUSH for the paper's 4-core machine.
+//! let mut policy = build_policy(PolicyKind::Mflush, &PolicyEnv::paper(4));
+//! assert_eq!(policy.name(), "MFLUSH");
+//!
+//! // A load issues, misses the L1 towards bank 2, and stays
+//! // outstanding: past MIN+MT the thread enters the Preventive State.
+//! policy.on_load_issue(0, 1, 0x4000, 0);
+//! policy.on_l1d_miss(0, 1, 2, 3);
+//! let snaps = [ThreadSnapshot::idle(0), ThreadSnapshot::idle(1)];
+//! let mut actions = Vec::new();
+//! policy.tick(79, &snaps, &mut actions); // 22 + (4+15)·3 = 79
+//! assert_eq!(
+//!     actions,
+//!     vec![smtsim_policy::PolicyAction::Stall { tid: 0 }]
+//! );
+//! ```
+
+pub mod adaptive_flush;
+pub mod adts;
+pub mod builder;
+pub mod count_variants;
+pub mod dcra;
+pub mod flush;
+pub mod icount;
+pub mod mflush;
+pub mod miss_predictor;
+pub mod rr;
+pub mod stall;
+pub mod types;
+
+pub use adaptive_flush::{AdaptiveFlushConfig, AdaptiveFlushPolicy};
+pub use adts::AdtsPolicy;
+pub use builder::{build_policy, PolicyEnv, PolicyKind};
+pub use count_variants::{BrcountPolicy, L1dMissCountPolicy};
+pub use dcra::DcraPolicy;
+pub use flush::{FlushPolicy, FlushTrigger};
+pub use icount::IcountPolicy;
+pub use mflush::{McRegFile, McRegReducer, MflushConfig, MflushPolicy};
+pub use miss_predictor::{LoadMissPredictor, MissPredictFlushPolicy};
+pub use rr::RoundRobinPolicy;
+pub use stall::StallPolicy;
+pub use types::{FetchPolicy, LoadToken, PolicyAction, ThreadSnapshot};

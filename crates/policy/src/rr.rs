@@ -1,0 +1,82 @@
+//! Round-robin fetch — the naive baseline ICOUNT was designed to beat
+//! (Tullsen et al., ISCA'96 call it RR.2.8). Included so experiments
+//! can show how much of the paper's stack (ICOUNT → FLUSH → MFLUSH)
+//! each layer contributes.
+
+use crate::types::{FetchPolicy, PolicyAction, ThreadSnapshot};
+
+/// Round-robin thread priority, rotating by one position per cycle.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobinPolicy {
+    offset: usize,
+}
+
+impl RoundRobinPolicy {
+    /// Construct the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FetchPolicy for RoundRobinPolicy {
+    fn name(&self) -> String {
+        "RR".into()
+    }
+
+    fn tick(&mut self, _cycle: u64, _snaps: &[ThreadSnapshot], _actions: &mut Vec<PolicyAction>) {
+        // Rotation advances in fetch_priority so that priority order
+        // changes exactly once per cycle regardless of tick/fetch call
+        // interleaving.
+    }
+
+    fn fetch_priority(&mut self, _cycle: u64, snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {
+        out.clear();
+        let n = snaps.len();
+        if n == 0 {
+            return;
+        }
+        let start = self.offset % n;
+        out.extend(snaps.iter().cycle().skip(start).take(n).map(|s| s.tid));
+        self.offset = (self.offset + 1) % n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_each_call() {
+        let mut p = RoundRobinPolicy::new();
+        let snaps = [
+            ThreadSnapshot::idle(0),
+            ThreadSnapshot::idle(1),
+            ThreadSnapshot::idle(2),
+        ];
+        let mut out = Vec::new();
+        p.fetch_priority(0, &snaps, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+        p.fetch_priority(1, &snaps, &mut out);
+        assert_eq!(out, vec![1, 2, 0]);
+        p.fetch_priority(2, &snaps, &mut out);
+        assert_eq!(out, vec![2, 0, 1]);
+        p.fetch_priority(3, &snaps, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn never_gates() {
+        let mut p = RoundRobinPolicy::new();
+        let mut actions = Vec::new();
+        p.tick(0, &[ThreadSnapshot::idle(0)], &mut actions);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn empty_snapshot_is_safe() {
+        let mut p = RoundRobinPolicy::new();
+        let mut out = vec![99];
+        p.fetch_priority(0, &[], &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! The STALL response action (Tullsen & Brown, MICRO'01): same detection
+//! moments as FLUSH, but the offending thread is only fetch-gated — its
+//! in-flight instructions stay in the pipeline holding their resources.
+//! Cheaper in energy (nothing is refetched), weaker in throughput
+//! (resources stay clogged). MFLUSH's Preventive State borrows exactly
+//! this behaviour (paper §4: "adapts the FLUSH and STALL philosophy").
+
+use crate::flush::{DetectionState, FlushTrigger};
+use crate::types::{icount_order, FetchPolicy, LoadToken, PolicyAction, ThreadSnapshot};
+
+/// The STALL fetch policy.
+pub struct StallPolicy {
+    state: DetectionState,
+    /// Stall cause per thread: the load whose completion un-gates it.
+    cause: Vec<Option<LoadToken>>,
+    /// Resumes to emit at the next tick.
+    pending_resume: Vec<usize>,
+}
+
+impl StallPolicy {
+    /// Speculative STALL with an X-cycle delay-after-issue trigger.
+    pub fn speculative(trigger_cycles: u64) -> Self {
+        Self::new(FlushTrigger::DelayAfterIssue(trigger_cycles))
+    }
+
+    /// Non-speculative STALL.
+    pub fn non_speculative() -> Self {
+        Self::new(FlushTrigger::OnL2Miss)
+    }
+
+    /// Generic constructor.
+    pub fn new(trigger: FlushTrigger) -> Self {
+        StallPolicy {
+            state: DetectionState::new(trigger),
+            cause: Vec::new(),
+            pending_resume: Vec::new(),
+        }
+    }
+
+    fn set_cause(&mut self, tid: usize, token: Option<LoadToken>) {
+        if self.cause.len() <= tid {
+            self.cause.resize(tid + 1, None);
+        }
+        self.cause[tid] = token;
+    }
+
+    /// Number of stall triggers so far.
+    pub fn triggers(&self) -> u64 {
+        self.state.triggers
+    }
+}
+
+impl FetchPolicy for StallPolicy {
+    fn name(&self) -> String {
+        match_trigger_name(&self.state)
+    }
+
+    fn tick(&mut self, cycle: u64, _snaps: &[ThreadSnapshot], actions: &mut Vec<PolicyAction>) {
+        for tid in self.pending_resume.drain(..) {
+            actions.push(PolicyAction::Resume { tid });
+        }
+        for (tid, token) in self.state.detect(cycle) {
+            self.set_cause(tid, Some(token));
+            actions.push(PolicyAction::Stall { tid });
+        }
+        // Need mutable self later; split borrow by re-reading cause in
+        // the completion hook instead.
+    }
+
+    fn fetch_priority(&mut self, _cycle: u64, snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {
+        icount_order(snaps, out);
+    }
+
+    fn on_load_issue(&mut self, tid: usize, token: LoadToken, _pc: u64, cycle: u64) {
+        self.state.on_load_issue(tid, token, cycle);
+    }
+
+    fn on_l2_miss(&mut self, tid: usize, token: LoadToken, _cycle: u64) {
+        self.state.on_l2_miss(tid, token);
+    }
+
+    fn on_load_complete(
+        &mut self,
+        tid: usize,
+        token: LoadToken,
+        _bank: u32,
+        _l2_hit: Option<bool>,
+        _latency: u64,
+        _cycle: u64,
+    ) {
+        self.state.forget(token);
+        if self.cause.get(tid).copied().flatten() == Some(token) {
+            self.set_cause(tid, None);
+            self.state.on_thread_resumed(tid);
+            self.pending_resume.push(tid);
+        }
+    }
+
+    fn on_load_squashed(&mut self, tid: usize, token: LoadToken) {
+        self.state.forget(token);
+        if self.cause.get(tid).copied().flatten() == Some(token) {
+            self.set_cause(tid, None);
+            self.state.on_thread_resumed(tid);
+            self.pending_resume.push(tid);
+        }
+    }
+
+    fn on_thread_resumed(&mut self, tid: usize, _cycle: u64) {
+        self.state.on_thread_resumed(tid);
+    }
+}
+
+fn match_trigger_name(state: &DetectionState) -> String {
+    match state.trigger_kind() {
+        FlushTrigger::DelayAfterIssue(x) => format!("STALL-S{x}"),
+        FlushTrigger::OnL2Miss => "STALL-NS".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snaps2() -> Vec<ThreadSnapshot> {
+        vec![ThreadSnapshot::idle(0), ThreadSnapshot::idle(1)]
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(StallPolicy::speculative(50).name(), "STALL-S50");
+        assert_eq!(StallPolicy::non_speculative().name(), "STALL-NS");
+    }
+
+    #[test]
+    fn stall_then_resume_on_completion() {
+        let mut p = StallPolicy::speculative(30);
+        p.on_load_issue(0, 9, 0, 0);
+        let mut actions = Vec::new();
+        p.tick(30, &snaps2(), &mut actions);
+        assert_eq!(actions, vec![PolicyAction::Stall { tid: 0 }]);
+        // Load completes: resume at next tick.
+        p.on_load_complete(0, 9, 0, Some(false), 272, 272);
+        actions.clear();
+        p.tick(273, &snaps2(), &mut actions);
+        assert_eq!(actions, vec![PolicyAction::Resume { tid: 0 }]);
+    }
+
+    #[test]
+    fn unrelated_load_completion_does_not_resume() {
+        let mut p = StallPolicy::speculative(30);
+        p.on_load_issue(0, 1, 0, 0);
+        p.on_load_issue(0, 2, 0, 5);
+        let mut actions = Vec::new();
+        p.tick(30, &snaps2(), &mut actions); // stalls on token 1
+        actions.clear();
+        p.on_load_complete(0, 2, 0, Some(true), 40, 45);
+        p.tick(46, &snaps2(), &mut actions);
+        assert!(
+            !actions.contains(&PolicyAction::Resume { tid: 0 }),
+            "must wait for the causing load"
+        );
+    }
+
+    #[test]
+    fn squash_of_cause_resumes() {
+        let mut p = StallPolicy::speculative(30);
+        p.on_load_issue(0, 1, 0, 0);
+        let mut actions = Vec::new();
+        p.tick(30, &snaps2(), &mut actions);
+        p.on_load_squashed(0, 1); // e.g. older branch mispredicted
+        actions.clear();
+        p.tick(31, &snaps2(), &mut actions);
+        assert_eq!(actions, vec![PolicyAction::Resume { tid: 0 }]);
+    }
+
+    #[test]
+    fn can_stall_again_after_resume() {
+        let mut p = StallPolicy::speculative(10);
+        p.on_load_issue(0, 1, 0, 0);
+        let mut a = Vec::new();
+        p.tick(10, &snaps2(), &mut a);
+        p.on_load_complete(0, 1, 0, Some(false), 272, 272);
+        p.on_load_issue(0, 2, 0, 300);
+        a.clear();
+        p.tick(310, &snaps2(), &mut a);
+        assert!(a.contains(&PolicyAction::Resume { tid: 0 }));
+        assert!(a.contains(&PolicyAction::Stall { tid: 0 }));
+        assert_eq!(p.triggers(), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests over the policy layer.
+
+use proptest::prelude::*;
+use smtsim_policy::mflush::{McRegConfig, McRegFile, McRegReducer, MflushConfig};
+use smtsim_policy::{build_policy, PolicyEnv, PolicyKind, ThreadSnapshot};
+
+fn any_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Icount),
+        Just(PolicyKind::RoundRobin),
+        Just(PolicyKind::Brcount),
+        Just(PolicyKind::L1dMissCount),
+        Just(PolicyKind::Adts),
+        Just(PolicyKind::Dcra),
+        (1u64..500).prop_map(PolicyKind::FlushSpec),
+        Just(PolicyKind::FlushNonSpec),
+        (1u64..500).prop_map(PolicyKind::StallSpec),
+        Just(PolicyKind::StallNonSpec),
+        Just(PolicyKind::Mflush),
+        Just(PolicyKind::FlushAdaptive),
+        Just(PolicyKind::FlushMissPredict),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The Barrier always stays inside the operational environment
+    /// `[MIN+MT, MAX+MT]` for any machine shape and prediction.
+    #[test]
+    fn barrier_always_in_operational_environment(
+        cores in 1u32..16,
+        banks in 1u32..16,
+        bus in 1u64..32,
+        bank_delay in 1u64..64,
+        min in 4u64..100,
+        extra in 1u64..1000,
+        prediction in 0u64..10_000,
+    ) {
+        let cfg = MflushConfig {
+            min,
+            max: min + extra,
+            bus_delay: bus,
+            bank_delay,
+            num_cores: cores,
+            num_banks: banks,
+            mcreg: McRegConfig::default(),
+            preventive: true,
+            mt_enabled: true,
+        };
+        let b = cfg.barrier(prediction);
+        prop_assert!(b >= cfg.min + cfg.mt());
+        prop_assert!(b <= cfg.max + cfg.mt());
+        // The preventive threshold sits at or below every barrier.
+        prop_assert!(cfg.preventive_threshold() <= b);
+    }
+
+    /// MCReg predictions are always within the observed value range
+    /// (after u8 saturation), for every reducer and history length.
+    #[test]
+    fn mcreg_prediction_bounded_by_observations(
+        history in 1usize..8,
+        reducer in prop_oneof![
+            Just(McRegReducer::Last),
+            Just(McRegReducer::Mean),
+            Just(McRegReducer::Max)
+        ],
+        obs in prop::collection::vec(0u64..2_000, 1..40),
+    ) {
+        let mut f = McRegFile::new(1, 22, McRegConfig { history, reducer });
+        for &o in &obs {
+            f.update(0, o);
+        }
+        let window: Vec<u64> = obs
+            .iter()
+            .rev()
+            .take(history)
+            .map(|&o| o.min(255))
+            .collect();
+        let p = f.predict(0);
+        prop_assert!(p >= *window.iter().min().unwrap());
+        prop_assert!(p <= *window.iter().max().unwrap());
+    }
+
+    /// Every policy returns a complete, duplicate-free fetch priority
+    /// permutation for arbitrary snapshot contents.
+    #[test]
+    fn fetch_priority_is_a_permutation(
+        kind in any_policy(),
+        threads in 1usize..8,
+        frontends in prop::collection::vec(0u32..100, 8),
+        misses in prop::collection::vec(0u32..16, 8),
+        cycle in 0u64..100_000,
+    ) {
+        let env = PolicyEnv::paper(4);
+        let mut p = build_policy(kind, &env);
+        let snaps: Vec<ThreadSnapshot> = (0..threads)
+            .map(|tid| {
+                let mut s = ThreadSnapshot::idle(tid);
+                s.in_frontend = frontends[tid];
+                s.l1d_misses_in_flight = misses[tid];
+                s
+            })
+            .collect();
+        let mut out = Vec::new();
+        p.fetch_priority(cycle, &snaps, &mut out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..threads).collect::<Vec<_>>());
+    }
+
+    /// Policies never emit actions for threads they were never told
+    /// about, under an arbitrary stream of load events.
+    #[test]
+    fn actions_reference_known_threads(
+        kind in any_policy(),
+        events in prop::collection::vec((0usize..2, 0u64..64, 0u32..4, 0u64..500), 0..60),
+    ) {
+        let env = PolicyEnv::paper(4);
+        let mut p = build_policy(kind, &env);
+        let snaps = [ThreadSnapshot::idle(0), ThreadSnapshot::idle(1)];
+        let mut actions = Vec::new();
+        let mut cycle = 0u64;
+        for (tid, token, bank, dt) in events {
+            cycle += dt;
+            p.on_load_issue(tid, token, 0x1000 + token * 4, cycle);
+            p.on_l1d_miss(tid, token, bank, cycle);
+            p.tick(cycle, &snaps, &mut actions);
+        }
+        p.tick(cycle + 10_000, &snaps, &mut actions);
+        for a in &actions {
+            let tid = match a {
+                smtsim_policy::PolicyAction::Flush { tid, .. } => *tid,
+                smtsim_policy::PolicyAction::Stall { tid } => *tid,
+                smtsim_policy::PolicyAction::Resume { tid } => *tid,
+            };
+            prop_assert!(tid < 2, "action for unknown thread {tid}");
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Trace capture and replay.
+//!
+//! The paper's methodology collects traces once and replays them under
+//! every fetch policy so that results are comparable. Our generator is
+//! deterministic, which gives the same property for free, but capturing
+//! a trace to disk is still useful for debugging, for sharing repro
+//! cases, and for replaying a stream without paying generation cost.
+//!
+//! Format: a 16-byte header (`magic`, `version`, instruction count)
+//! followed by fixed-size 40-byte little-endian records.
+
+use crate::instr::{DynInstr, InstrClass, UncondKind};
+use crate::stream::InstrStream;
+use std::io::{self, Read, Write};
+
+const MAGIC: u32 = 0x4d46_5452; // "MFTR"
+const VERSION: u32 = 1;
+const RECORD_BYTES: usize = 40;
+
+fn class_to_u8(c: InstrClass) -> u8 {
+    match c {
+        InstrClass::IntAlu => 0,
+        InstrClass::IntMul => 1,
+        InstrClass::FpAlu => 2,
+        InstrClass::FpMul => 3,
+        InstrClass::FpDiv => 4,
+        InstrClass::Load => 5,
+        InstrClass::Store => 6,
+        InstrClass::BranchCond => 7,
+        InstrClass::BranchUncond => 8,
+        InstrClass::Nop => 9,
+    }
+}
+
+fn class_from_u8(b: u8) -> io::Result<InstrClass> {
+    Ok(match b {
+        0 => InstrClass::IntAlu,
+        1 => InstrClass::IntMul,
+        2 => InstrClass::FpAlu,
+        3 => InstrClass::FpMul,
+        4 => InstrClass::FpDiv,
+        5 => InstrClass::Load,
+        6 => InstrClass::Store,
+        7 => InstrClass::BranchCond,
+        8 => InstrClass::BranchUncond,
+        9 => InstrClass::Nop,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad instruction class byte {b}"),
+            ))
+        }
+    })
+}
+
+/// Encode one instruction into a fixed-size record.
+fn encode(i: &DynInstr, buf: &mut [u8; RECORD_BYTES]) {
+    buf[..8].copy_from_slice(&i.seq.to_le_bytes());
+    buf[8..16].copy_from_slice(&i.pc.to_le_bytes());
+    buf[16..24].copy_from_slice(&i.mem_addr.to_le_bytes());
+    buf[24..32].copy_from_slice(&i.target.to_le_bytes());
+    buf[32] = class_to_u8(i.class);
+    buf[33] = i.srcs[0].map(|r| r + 1).unwrap_or(0);
+    buf[34] = i.srcs[1].map(|r| r + 1).unwrap_or(0);
+    buf[35] = i.dst.map(|r| r + 1).unwrap_or(0);
+    buf[36] = i.taken as u8;
+    buf[37] = match i.uncond_kind {
+        UncondKind::Jump => 0,
+        UncondKind::Call => 1,
+        UncondKind::Ret => 2,
+    };
+    buf[38..40].copy_from_slice(&[0, 0]);
+}
+
+/// Decode one fixed-size record.
+fn decode(buf: &[u8; RECORD_BYTES]) -> io::Result<DynInstr> {
+    let reg = |b: u8| if b == 0 { None } else { Some(b - 1) };
+    Ok(DynInstr {
+        seq: u64::from_le_bytes(buf[..8].try_into().unwrap()),
+        pc: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        mem_addr: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+        target: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
+        class: class_from_u8(buf[32])?,
+        srcs: [reg(buf[33]), reg(buf[34])],
+        dst: reg(buf[35]),
+        taken: buf[36] != 0,
+        uncond_kind: match buf[37] {
+            1 => UncondKind::Call,
+            2 => UncondKind::Ret,
+            _ => UncondKind::Jump,
+        },
+    })
+}
+
+/// Streaming trace writer.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    count: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Create a writer and emit the header (count patched by
+    /// [`TraceWriter::finish`] is not supported on plain streams, so the
+    /// header stores 0 and readers simply read to EOF; the count field
+    /// is advisory).
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(&MAGIC.to_le_bytes())?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&0u64.to_le_bytes())?;
+        Ok(TraceWriter { out, count: 0 })
+    }
+
+    /// Append one instruction.
+    pub fn write_instr(&mut self, i: &DynInstr) -> io::Result<()> {
+        let mut buf = [0u8; RECORD_BYTES];
+        encode(i, &mut buf);
+        self.out.write_all(&buf)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Capture `n` instructions from a stream.
+    pub fn capture<S: InstrStream>(&mut self, stream: &mut S, n: u64) -> io::Result<()> {
+        for _ in 0..n {
+            let i = stream.next_instr();
+            self.write_instr(&i)?;
+        }
+        Ok(())
+    }
+
+    /// Number of instructions written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming trace reader.
+pub struct TraceReader<R: Read> {
+    input: R,
+    read: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Open a trace, validating the header.
+    pub fn new(mut input: R) -> io::Result<Self> {
+        let mut hdr = [0u8; 16];
+        input.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes(hdr[..4].try_into().unwrap());
+        let version = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        Ok(TraceReader { input, read: 0 })
+    }
+
+    /// Read the next instruction; `None` at end of trace.
+    pub fn read_instr(&mut self) -> io::Result<Option<DynInstr>> {
+        let mut buf = [0u8; RECORD_BYTES];
+        match self.input.read_exact(&mut buf) {
+            Ok(()) => {
+                self.read += 1;
+                decode(&buf).map(Some)
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Read the whole trace into memory.
+    pub fn read_all(mut self) -> io::Result<Vec<DynInstr>> {
+        let mut v = Vec::new();
+        while let Some(i) = self.read_instr()? {
+            v.push(i);
+        }
+        Ok(v)
+    }
+
+    /// Number of instructions read so far.
+    pub fn count(&self) -> u64 {
+        self.read
+    }
+}
+
+/// An in-memory trace that loops forever — handy as a deterministic
+/// [`InstrStream`] for tests and micro-experiments. Sequence numbers are
+/// rewritten to stay monotonic across loop iterations.
+pub struct RecordedTrace {
+    instrs: Vec<DynInstr>,
+    cursor: usize,
+    seq: u64,
+}
+
+impl RecordedTrace {
+    /// Wrap a recorded instruction vector (must be non-empty).
+    pub fn new(instrs: Vec<DynInstr>) -> Self {
+        assert!(!instrs.is_empty(), "empty trace");
+        RecordedTrace {
+            instrs,
+            cursor: 0,
+            seq: 0,
+        }
+    }
+
+    /// Length of one loop iteration.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Always false (constructor rejects empty traces).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+impl InstrStream for RecordedTrace {
+    fn next_instr(&mut self) -> DynInstr {
+        let mut i = self.instrs[self.cursor];
+        self.cursor = (self.cursor + 1) % self.instrs.len();
+        i.seq = self.seq;
+        self.seq += 1;
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGenerator;
+    use crate::spec;
+
+    #[test]
+    fn roundtrip_preserves_instructions() {
+        let mut g = TraceGenerator::new(spec::benchmark_by_name("gap").unwrap(), 21);
+        let orig: Vec<_> = (0..500).map(|_| g.next_instr()).collect();
+
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        for i in &orig {
+            w.write_instr(i).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+
+        let r = TraceReader::new(&bytes[..]).unwrap();
+        let back = r.read_all().unwrap();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn capture_writes_n_records() {
+        let mut g = TraceGenerator::new(spec::benchmark_by_name("art").unwrap(), 2);
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        w.capture(&mut g, 123).unwrap();
+        assert_eq!(w.count(), 123);
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes.len(), 16 + 123 * RECORD_BYTES);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = [0u8; 64];
+        assert!(TraceReader::new(&bytes[..]).is_err());
+    }
+
+    #[test]
+    fn bad_class_byte_rejected() {
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        w.write_instr(&DynInstr::nop(0, 0x1000)).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes[16 + 32] = 200; // corrupt the class byte
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        assert!(r.read_instr().is_err());
+    }
+
+    #[test]
+    fn recorded_trace_loops_with_monotonic_seq() {
+        let mut g = TraceGenerator::new(spec::benchmark_by_name("mesa").unwrap(), 4);
+        let instrs: Vec<_> = (0..10).map(|_| g.next_instr()).collect();
+        let mut t = RecordedTrace::new(instrs.clone());
+        let mut prev_seq = None;
+        for k in 0..35 {
+            let i = t.next_instr();
+            assert_eq!(i.pc, instrs[k % 10].pc);
+            if let Some(p) = prev_seq {
+                assert_eq!(i.seq, p + 1);
+            }
+            prev_seq = Some(i.seq);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn recorded_trace_rejects_empty() {
+        let _ = RecordedTrace::new(Vec::new());
+    }
+}

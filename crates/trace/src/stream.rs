@@ -1,0 +1,198 @@
+//! Stream abstraction plus flush/replay support.
+//!
+//! The FLUSH response action squashes already-fetched instructions and
+//! later *refetches* them (paper §4: "By the time the offending memory
+//! access is resolved, the thread resumes its execution, fetching again
+//! in the execution pipeline all flushed instructions"). In a
+//! trace-driven simulator refetching means rewinding the trace. The
+//! [`ReplayableStream`] wrapper makes any [`InstrStream`] rewindable: the
+//! pipeline returns squashed instructions with [`ReplayableStream::unfetch`]
+//! and they are handed out again, byte-identical, on subsequent fetches.
+
+use crate::instr::DynInstr;
+use std::collections::VecDeque;
+
+/// An infinite source of dynamic instructions for one thread.
+pub trait InstrStream {
+    /// Produce the next correct-path instruction.
+    fn next_instr(&mut self) -> DynInstr;
+}
+
+/// Blanket impl so boxed streams are streams too.
+impl<S: InstrStream + ?Sized> InstrStream for Box<S> {
+    fn next_instr(&mut self) -> DynInstr {
+        (**self).next_instr()
+    }
+}
+
+/// A rewindable wrapper over any instruction stream.
+pub struct ReplayableStream<S> {
+    inner: S,
+    /// Squashed instructions awaiting refetch, in program order
+    /// (front = oldest = next to fetch).
+    replay: VecDeque<DynInstr>,
+    /// Total instructions handed out (including replays).
+    fetched: u64,
+    /// Total instructions replayed after a squash.
+    replayed: u64,
+}
+
+impl<S: InstrStream> ReplayableStream<S> {
+    /// Wrap a stream.
+    pub fn new(inner: S) -> Self {
+        ReplayableStream {
+            inner,
+            replay: VecDeque::new(),
+            fetched: 0,
+            replayed: 0,
+        }
+    }
+
+    /// Fetch the next instruction: a pending replay if any, otherwise a
+    /// fresh instruction from the underlying stream.
+    pub fn fetch(&mut self) -> DynInstr {
+        self.fetched += 1;
+        if let Some(i) = self.replay.pop_front() {
+            self.replayed += 1;
+            i
+        } else {
+            self.inner.next_instr()
+        }
+    }
+
+    /// Peek at the next instruction without consuming it.
+    pub fn peek(&mut self) -> DynInstr {
+        if let Some(&i) = self.replay.front() {
+            i
+        } else {
+            let i = self.inner.next_instr();
+            self.replay.push_front(i);
+            i
+        }
+    }
+
+    /// Return squashed instructions to the stream. `instrs` must be in
+    /// **program order** (oldest first) and must all be older than
+    /// anything currently pending; they will be fetched again before any
+    /// new instruction.
+    pub fn unfetch<I>(&mut self, instrs: I)
+    where
+        I: IntoIterator<Item = DynInstr>,
+        I::IntoIter: DoubleEndedIterator,
+    {
+        for i in instrs.into_iter().rev() {
+            if let Some(front) = self.replay.front() {
+                debug_assert!(
+                    i.seq < front.seq,
+                    "unfetch must prepend older instructions ({} >= {})",
+                    i.seq,
+                    front.seq
+                );
+            }
+            self.replay.push_front(i);
+        }
+    }
+
+    /// Number of instructions currently awaiting replay.
+    pub fn pending_replay(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Total instructions fetched (including replays).
+    pub fn total_fetched(&self) -> u64 {
+        self.fetched
+    }
+
+    /// Total instructions that were fetched more than once.
+    pub fn total_replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Access the wrapped stream.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped stream.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::DynInstr;
+
+    /// Simple counting stream for tests.
+    struct Counter(u64);
+    impl InstrStream for Counter {
+        fn next_instr(&mut self) -> DynInstr {
+            let i = DynInstr::nop(self.0, 0x1000 + 4 * self.0);
+            self.0 += 1;
+            i
+        }
+    }
+
+    #[test]
+    fn passthrough_without_replay() {
+        let mut s = ReplayableStream::new(Counter(0));
+        for want in 0..100 {
+            assert_eq!(s.fetch().seq, want);
+        }
+        assert_eq!(s.total_replayed(), 0);
+        assert_eq!(s.total_fetched(), 100);
+    }
+
+    #[test]
+    fn unfetch_replays_in_program_order() {
+        let mut s = ReplayableStream::new(Counter(0));
+        let fetched: Vec<_> = (0..10).map(|_| s.fetch()).collect();
+        // Squash instructions 4..10 (program order).
+        s.unfetch(fetched[4..].to_vec());
+        assert_eq!(s.pending_replay(), 6);
+        for want in 4..10 {
+            assert_eq!(s.fetch().seq, want);
+        }
+        // After draining replays, we continue with fresh instructions.
+        assert_eq!(s.fetch().seq, 10);
+        assert_eq!(s.total_replayed(), 6);
+    }
+
+    #[test]
+    fn nested_unfetch_keeps_order() {
+        let mut s = ReplayableStream::new(Counter(0));
+        let a: Vec<_> = (0..8).map(|_| s.fetch()).collect();
+        s.unfetch(a[6..].to_vec()); // replay 6,7
+        let b = s.fetch(); // 6
+        assert_eq!(b.seq, 6);
+        // Squash again, deeper: 3..=7 (3,4,5 newer than current replay 7!)
+        // Legal usage: squashed set must be older than pending, so
+        // prepend 3..6 only after draining — here we emulate a deeper
+        // squash by returning 6 and then 3..6.
+        s.unfetch([b]); // put 6 back
+        s.unfetch(a[3..6].to_vec());
+        for want in 3..8 {
+            assert_eq!(s.fetch().seq, want);
+        }
+        assert_eq!(s.fetch().seq, 8);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut s = ReplayableStream::new(Counter(0));
+        let p = s.peek();
+        assert_eq!(p.seq, 0);
+        assert_eq!(s.fetch().seq, 0);
+        assert_eq!(s.fetch().seq, 1);
+    }
+
+    #[test]
+    fn replayed_instructions_are_identical() {
+        let mut s = ReplayableStream::new(Counter(0));
+        let orig: Vec<_> = (0..5).map(|_| s.fetch()).collect();
+        s.unfetch(orig.clone());
+        let again: Vec<_> = (0..5).map(|_| s.fetch()).collect();
+        assert_eq!(orig, again);
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: simulate one of the paper's workloads under MFLUSH.
+//!
+//! ```text
+//! cargo run --release --example quickstart [WORKLOAD] [CYCLES]
+//! cargo run --release --example quickstart 6W3 200000
+//! ```
+
+use mflush::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = args.first().map(String::as_str).unwrap_or("4W3");
+    let cycles: u64 = args
+        .get(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(100_000);
+
+    let w = Workload::by_name(workload).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload}; use 2W1..8W5");
+        std::process::exit(1);
+    });
+
+    println!(
+        "Running {} ({} threads on {} two-context SMT cores) for {cycles} cycles under MFLUSH\n",
+        w.name,
+        w.threads(),
+        w.cores()
+    );
+
+    let cfg = SimConfig::for_workload(w, PolicyKind::Mflush).with_cycles(cycles);
+    let result = Simulator::build(&cfg).run();
+
+    println!("policy            {}", result.policy);
+    println!("system throughput {:.4} IPC", result.throughput());
+    println!("committed         {} instructions", result.total_committed());
+    for (i, (name, ipc)) in w
+        .benchmark_names()
+        .iter()
+        .zip(result.per_thread_ipc())
+        .enumerate()
+    {
+        println!("  thread {i} ({name:<8}) IPC {ipc:.4}");
+    }
+    let e = result.energy();
+    println!("flushes           {}", result.total_flushes());
+    println!(
+        "energy            {:.0} useful + {:.0} wasted units (waste ratio {:.3})",
+        e.useful_energy(),
+        e.wasted_energy(),
+        e.waste_ratio()
+    );
+    println!(
+        "L2 hit time       mean {:.1} cycles over {} hits (p90 {:?})",
+        result.l2_hit_hist.mean(),
+        result.l2_hit_hist.count(),
+        result.l2_hit_hist.percentile(0.9)
+    );
+}

@@ -1,0 +1,132 @@
+//! Property-based tests (proptest) over the full stack.
+//!
+//! Strategy space: random benchmark assignments, policies, seeds and
+//! short intervals. Invariants: the simulator never panics, always makes
+//! progress, respects the golden per-thread trace order, and its energy
+//! ledger stays consistent.
+
+use mflush::prelude::*;
+use proptest::prelude::*;
+
+/// A strategy over benchmark names (the Fig. 1 legend).
+fn benchmark() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(
+        spec::ALL_BENCHMARKS
+            .iter()
+            .map(|b| b.name)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// A strategy over fetch policies, including ablation variants.
+fn policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Icount),
+        (20u64..150).prop_map(PolicyKind::FlushSpec),
+        Just(PolicyKind::FlushNonSpec),
+        (20u64..150).prop_map(PolicyKind::StallSpec),
+        Just(PolicyKind::StallNonSpec),
+        Just(PolicyKind::Mflush),
+        Just(PolicyKind::Brcount),
+        Just(PolicyKind::L1dMissCount),
+        Just(PolicyKind::Adts),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// Any 2-thread mix under any policy commits in trace order,
+    /// exactly once per sequence number, and makes progress.
+    #[test]
+    fn golden_order_for_random_mixes(
+        b0 in benchmark(),
+        b1 in benchmark(),
+        p in policy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = SimConfig::for_benchmarks(&[b0, b1], p)
+            .with_cycles(4_000)
+            .with_seed(seed);
+        let mut sim = Simulator::build(&cfg);
+        sim.enable_commit_logs();
+        sim.step(4_000);
+        let r = sim.snapshot();
+        prop_assert!(r.total_committed() > 0, "no progress for {b0}+{b1} under {}", p.label());
+        for log in sim.commit_logs() {
+            let mut next = [0u64; 2];
+            for &(tid, seq) in log {
+                prop_assert_eq!(seq, next[tid]);
+                next[tid] += 1;
+            }
+        }
+    }
+
+    /// The energy ledger is internally consistent for any run: totals
+    /// decompose exactly into useful + flush waste + mispredict waste,
+    /// and only flushing policies produce flush waste.
+    #[test]
+    fn energy_ledger_consistency(
+        b0 in benchmark(),
+        b1 in benchmark(),
+        p in policy(),
+    ) {
+        let cfg = SimConfig::for_benchmarks(&[b0, b1], p).with_cycles(4_000);
+        let r = Simulator::build(&cfg).run();
+        let e = r.energy();
+        let total = e.total_energy();
+        let parts = e.useful_energy() + e.wasted_energy() + e.mispredict_energy();
+        prop_assert!((total - parts).abs() < 1e-6);
+        prop_assert_eq!(e.committed(), r.total_committed());
+        match p {
+            PolicyKind::Icount
+            | PolicyKind::Brcount
+            | PolicyKind::L1dMissCount
+            | PolicyKind::Adts
+            | PolicyKind::StallSpec(_)
+            | PolicyKind::StallNonSpec => {
+                prop_assert_eq!(e.flush_squashed_total(), 0, "{} never flushes", p.label());
+            }
+            _ => {}
+        }
+    }
+
+    /// Throughput is reported consistently: IPC × cycles = commits, and
+    /// per-thread IPCs sum to the system IPC.
+    #[test]
+    fn throughput_accounting(
+        b0 in benchmark(),
+        b1 in benchmark(),
+        seed in 0u64..100_000,
+    ) {
+        let cfg = SimConfig::for_benchmarks(&[b0, b1], PolicyKind::Mflush)
+            .with_cycles(3_000)
+            .with_seed(seed);
+        let r = Simulator::build(&cfg).run();
+        let from_ipc = r.throughput() * r.cycles as f64;
+        prop_assert!((from_ipc - r.total_committed() as f64).abs() < 1e-6);
+        let sum: f64 = r.per_thread_ipc().iter().sum();
+        prop_assert!((sum - r.throughput()).abs() < 1e-9);
+    }
+
+    /// Determinism holds for arbitrary seeds and mixes.
+    #[test]
+    fn determinism_for_random_configs(
+        b0 in benchmark(),
+        b1 in benchmark(),
+        p in policy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let run = || {
+            let cfg = SimConfig::for_benchmarks(&[b0, b1], p)
+                .with_cycles(2_500)
+                .with_seed(seed);
+            let r = Simulator::build(&cfg).run();
+            (r.total_committed(), r.total_flushes())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
