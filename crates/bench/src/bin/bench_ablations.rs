@@ -1,0 +1,236 @@
+//! `bench_ablations` — plain timing runs for the design-choice
+//! ablations DESIGN.md calls out:
+//!
+//! * MCReg history length / reducer (paper §4.1: "more complex
+//!   configurations, involving queues … and more complex functions");
+//! * the Preventive State on/off;
+//! * the MT term on/off in the Barrier;
+//! * STALL vs FLUSH response actions;
+//! * L2 bank-count and cluster-count sensitivity of the contention
+//!   model;
+//! * next-line prefetching.
+//!
+//! With `--report`, the binary ALSO prints the measured throughput of
+//! each variant at a larger cycle budget, leaving an ablation record
+//! next to the timings (what the criterion bench used to print once).
+//!
+//! ```text
+//! bench_ablations [--iters N] [--report]
+//! ```
+
+use smtsim_bench::timing::{measure, print_report, Measurement};
+use smtsim_core::{SimConfig, Simulator, Workload};
+use smtsim_policy::mflush::McRegReducer;
+use smtsim_policy::PolicyKind;
+use std::hint::black_box;
+
+const CYCLES: u64 = 4_000;
+const REPORT_CYCLES: u64 = 40_000;
+
+fn run(workload: &str, policy: PolicyKind, cycles: u64) -> f64 {
+    let w = Workload::by_name(workload).unwrap();
+    Simulator::build(&SimConfig::for_workload(w, policy).with_cycles(cycles))
+        .run()
+        .throughput()
+}
+
+fn run_banks(workload: &str, banks: u32, cycles: u64) -> f64 {
+    let w = Workload::by_name(workload).unwrap();
+    let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount).with_cycles(cycles);
+    cfg.mem.l2_banks = banks;
+    Simulator::build(&cfg).run().throughput()
+}
+
+fn run_clusters(workload: &str, clusters: u32, policy: PolicyKind, cycles: u64) -> f64 {
+    let w = Workload::by_name(workload).unwrap();
+    let mut cfg = SimConfig::for_workload(w, policy).with_cycles(cycles);
+    cfg.mem.l2_clusters = clusters;
+    Simulator::build(&cfg).run().throughput()
+}
+
+fn run_prefetch(workload: &str, policy: PolicyKind, cycles: u64) -> f64 {
+    let w = Workload::by_name(workload).unwrap();
+    let mut cfg = SimConfig::for_workload(w, policy).with_cycles(cycles);
+    cfg.mem.next_line_prefetch = true;
+    Simulator::build(&cfg).run().throughput()
+}
+
+fn mcreg(history: usize, reducer: McRegReducer) -> PolicyKind {
+    PolicyKind::MflushCustom {
+        mcreg_history: history,
+        mcreg_reducer: reducer,
+        preventive: true,
+        mt_enabled: true,
+    }
+}
+
+fn print_ablation_record() {
+    println!("== Ablation report ({REPORT_CYCLES}-cycle runs on 8W3) ==");
+    println!(
+        "MCReg history 1/Last (paper): {:.4}",
+        run("8W3", PolicyKind::Mflush, REPORT_CYCLES)
+    );
+    println!(
+        "MCReg history 4/Mean:         {:.4}",
+        run("8W3", mcreg(4, McRegReducer::Mean), REPORT_CYCLES)
+    );
+    println!(
+        "MCReg history 4/Max:          {:.4}",
+        run("8W3", mcreg(4, McRegReducer::Max), REPORT_CYCLES)
+    );
+    println!(
+        "MFLUSH w/o preventive state:  {:.4}",
+        run(
+            "8W3",
+            PolicyKind::MflushCustom {
+                mcreg_history: 1,
+                mcreg_reducer: McRegReducer::Last,
+                preventive: false,
+                mt_enabled: true,
+            },
+            REPORT_CYCLES
+        )
+    );
+    println!(
+        "MFLUSH w/o MT term:           {:.4}",
+        run(
+            "8W3",
+            PolicyKind::MflushCustom {
+                mcreg_history: 1,
+                mcreg_reducer: McRegReducer::Last,
+                preventive: true,
+                mt_enabled: false,
+            },
+            REPORT_CYCLES
+        )
+    );
+    println!(
+        "STALL-S30 vs FLUSH-S30:       {:.4} vs {:.4}",
+        run("8W3", PolicyKind::StallSpec(30), REPORT_CYCLES),
+        run("8W3", PolicyKind::FlushSpec(30), REPORT_CYCLES)
+    );
+    for banks in [1u32, 2, 4, 8] {
+        println!(
+            "ICOUNT with {banks} L2 bank(s):     {:.4}",
+            run_banks("8W3", banks, REPORT_CYCLES)
+        );
+    }
+    println!(
+        "ADTS adaptive (related work): {:.4}",
+        run("8W3", PolicyKind::Adts, REPORT_CYCLES)
+    );
+    println!(
+        "DCRA (related work [3]):      {:.4}",
+        run("8W3", PolicyKind::Dcra, REPORT_CYCLES)
+    );
+    println!(
+        "FLUSH-ADAPT (hill-climbed):   {:.4}",
+        run("8W3", PolicyKind::FlushAdaptive, REPORT_CYCLES)
+    );
+    println!(
+        "FLUSH-LMP (miss predictor):   {:.4}",
+        run("8W3", PolicyKind::FlushMissPredict, REPORT_CYCLES)
+    );
+    for clusters in [1u32, 2, 4] {
+        println!(
+            "MFLUSH with {clusters} L2 cluster(s): {:.4}",
+            run_clusters("8W3", clusters, PolicyKind::Mflush, REPORT_CYCLES)
+        );
+    }
+    println!(
+        "ICOUNT + next-line prefetch:  {:.4} (vs {:.4})",
+        run_prefetch("8W3", PolicyKind::Icount, REPORT_CYCLES),
+        run("8W3", PolicyKind::Icount, REPORT_CYCLES)
+    );
+    println!();
+}
+
+fn main() {
+    let mut iters: u32 = 5;
+    let mut report = false;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--report" => report = true,
+            "--iters" => {
+                iters = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("bad or missing --iters value");
+                        std::process::exit(2);
+                    })
+            }
+            _ => {
+                eprintln!("usage: bench_ablations [--iters N] [--report]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if report {
+        print_ablation_record();
+    }
+
+    let mut rows: Vec<Measurement> = Vec::new();
+    rows.push(measure("mcreg/history1_last", iters, CYCLES, || {
+        black_box(run("8W3", PolicyKind::Mflush, CYCLES));
+    }));
+    rows.push(measure("mcreg/history4_mean", iters, CYCLES, || {
+        black_box(run("8W3", mcreg(4, McRegReducer::Mean), CYCLES));
+    }));
+    rows.push(measure("no_preventive", iters, CYCLES, || {
+        black_box(run(
+            "8W3",
+            PolicyKind::MflushCustom {
+                mcreg_history: 1,
+                mcreg_reducer: McRegReducer::Last,
+                preventive: false,
+                mt_enabled: true,
+            },
+            CYCLES,
+        ));
+    }));
+    rows.push(measure("no_mt", iters, CYCLES, || {
+        black_box(run(
+            "8W3",
+            PolicyKind::MflushCustom {
+                mcreg_history: 1,
+                mcreg_reducer: McRegReducer::Last,
+                preventive: true,
+                mt_enabled: false,
+            },
+            CYCLES,
+        ));
+    }));
+    rows.push(measure("stall_vs_flush", iters, 2 * CYCLES, || {
+        black_box((
+            run("8W3", PolicyKind::StallSpec(30), CYCLES),
+            run("8W3", PolicyKind::FlushSpec(30), CYCLES),
+        ));
+    }));
+    for banks in [2u32, 4, 8] {
+        rows.push(measure(&format!("l2_banks/{banks}"), iters, CYCLES, || {
+            black_box(run_banks("8W3", banks, CYCLES));
+        }));
+    }
+    for clusters in [1u32, 2] {
+        rows.push(measure(
+            &format!("l2_clusters/{clusters}"),
+            iters,
+            CYCLES,
+            || {
+                black_box(run_clusters("8W3", clusters, PolicyKind::Mflush, CYCLES));
+            },
+        ));
+    }
+    rows.push(measure("next_line_prefetch", iters, CYCLES, || {
+        black_box(run_prefetch("8W3", PolicyKind::Icount, CYCLES));
+    }));
+
+    print_report(
+        &format!("Ablation timings ({CYCLES}-cycle budgets, {iters} iterations)"),
+        &rows,
+    );
+}

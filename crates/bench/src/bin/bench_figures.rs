@@ -1,0 +1,104 @@
+//! `bench_figures` — plain timing runs, one scenario per paper figure.
+//!
+//! Replaces the criterion `figures` bench: each scenario measures the
+//! cost of regenerating (a scaled-down version of) the corresponding
+//! figure, and doubles as a performance regression record for the
+//! simulator itself. The printed figures come from the `figures`
+//! binary; these scenarios exercise identical code.
+//!
+//! ```text
+//! bench_figures [--iters N]    # default 5 timed iterations/scenario
+//! ```
+
+use smtsim_bench as figs;
+use smtsim_bench::timing::{measure, print_report, Measurement};
+use smtsim_core::{SimConfig, Simulator, Workload};
+use smtsim_policy::PolicyKind;
+use std::hint::black_box;
+
+/// Cycle budget per simulation in timed scenarios (small but
+/// non-trivial; the `figures` binary uses the full default).
+const BENCH_CYCLES: u64 = 4_000;
+
+fn parse_iters() -> u32 {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.as_slice() {
+        [] => 5,
+        [flag, n] if flag == "--iters" => n.parse().unwrap_or_else(|_| {
+            eprintln!("bad --iters value {n}");
+            std::process::exit(2);
+        }),
+        _ => {
+            eprintln!("usage: bench_figures [--iters N]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let iters = parse_iters();
+    let mut rows: Vec<Measurement> = Vec::new();
+
+    // Raw simulator runs at the three machine sizes, baseline vs MFLUSH.
+    for (wl, label) in [("2W1", "1core"), ("4W1", "2core"), ("8W1", "4core")] {
+        for (pname, p) in [("icount", PolicyKind::Icount), ("mflush", PolicyKind::Mflush)] {
+            let w = Workload::by_name(wl).unwrap();
+            rows.push(measure(
+                &format!("simulator/{pname}/{label}"),
+                iters,
+                BENCH_CYCLES,
+                || {
+                    black_box(
+                        Simulator::build(
+                            &SimConfig::for_workload(w, p).with_cycles(BENCH_CYCLES),
+                        )
+                        .run(),
+                    );
+                },
+            ));
+        }
+    }
+
+    // Figure regenerations (multi-simulation sweeps; no single cycle
+    // budget, so no sim-cyc/s column).
+    rows.push(measure("fig2_singlecore", iters, 0, || {
+        black_box(figs::fig2(BENCH_CYCLES, 0));
+    }));
+    rows.push(measure("fig3_multicore", iters, 0, || {
+        black_box(figs::fig3(BENCH_CYCLES, 0));
+    }));
+    rows.push(measure("fig4_l2hit", iters, 0, || {
+        black_box(figs::fig4(BENCH_CYCLES, 0));
+    }));
+    rows.push(measure("fig5_dm_sweep", iters, 0, || {
+        black_box(figs::fig5(BENCH_CYCLES, 0));
+    }));
+    rows.push(measure("fig8_throughput", iters, 0, || {
+        black_box(figs::fig8(BENCH_CYCLES, 0));
+    }));
+    rows.push(measure("fig11_energy", iters, 0, || {
+        black_box(figs::fig11(BENCH_CYCLES, 0));
+    }));
+
+    // Static renders (Figs 1, 6, 7, 9, 10): cheap, but recorded too.
+    rows.push(measure("fig1_parameters", iters, 0, || {
+        black_box(figs::fig1());
+    }));
+    rows.push(measure("fig6_operational_env", iters, 0, || {
+        black_box(figs::fig6());
+    }));
+    rows.push(measure("fig7_mcreg", iters, 0, || {
+        black_box(figs::fig7());
+    }));
+    rows.push(measure("fig9_energy_distribution", iters, 0, || {
+        black_box(figs::fig9());
+    }));
+    rows.push(measure("fig10_ecf", iters, 0, || {
+        black_box(figs::fig10());
+    }));
+
+    print_report(
+        &format!("Figure regeneration timings ({BENCH_CYCLES}-cycle budgets, {iters} iterations)"),
+        &rows,
+    );
+}

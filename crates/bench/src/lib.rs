@@ -2,8 +2,9 @@
 //!
 //! One function per table/figure of the paper's evaluation. Each
 //! returns structured data *and* renders the same rows/series the paper
-//! reports, so the `figures` binary, the Criterion benches and the
-//! integration tests all share a single implementation.
+//! reports, so the `figures` binary, the timing binaries
+//! (`bench_figures`, `bench_ablations`) and the integration tests all
+//! share a single implementation.
 //!
 //! | Paper artefact | Function |
 //! |----------------|----------|
@@ -24,5 +25,6 @@
 //! tighter numbers.
 
 pub mod figures;
+pub mod timing;
 
 pub use figures::*;

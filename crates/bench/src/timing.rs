@@ -1,0 +1,136 @@
+//! Plain wall-clock timing for the benchmark binaries.
+//!
+//! The criterion benches were replaced by `bench_figures` /
+//! `bench_ablations` binaries built on this module: each scenario is a
+//! closure, timed over a fixed number of iterations after one warm-up
+//! run, reported as total / per-iteration wall-clock plus simulated
+//! cycles per second where the scenario has a known cycle budget.
+
+use std::time::{Duration, Instant};
+
+/// One timed scenario.
+pub struct Measurement {
+    /// Scenario label (e.g. `"simulator/mflush/4core"`).
+    pub name: String,
+    /// Timed iterations (excluding the warm-up run).
+    pub iters: u32,
+    /// Total wall-clock over all timed iterations.
+    pub elapsed: Duration,
+    /// Total *simulated* cycles across all timed iterations (0 when the
+    /// scenario has no meaningful cycle budget, e.g. static renders).
+    pub sim_cycles: u64,
+}
+
+impl Measurement {
+    /// Mean wall-clock per iteration.
+    pub fn per_iter(&self) -> Duration {
+        self.elapsed / self.iters.max(1)
+    }
+
+    /// Simulated cycles per second of wall-clock, when applicable.
+    pub fn cycles_per_sec(&self) -> Option<f64> {
+        let secs = self.elapsed.as_secs_f64();
+        (self.sim_cycles > 0 && secs > 0.0).then(|| self.sim_cycles as f64 / secs)
+    }
+
+    /// One aligned report row.
+    pub fn report_line(&self) -> String {
+        let cps = match self.cycles_per_sec() {
+            Some(c) => format!("{c:>12.0}"),
+            None => format!("{:>12}", "-"),
+        };
+        format!(
+            "{:<36} {:>6} it {:>12} total {:>12}/it {cps} sim-cyc/s",
+            self.name,
+            self.iters,
+            format_duration(self.elapsed),
+            format_duration(self.per_iter()),
+        )
+    }
+}
+
+/// Time `f` for `iters` iterations (after one untimed warm-up call).
+/// `sim_cycles_per_iter` is the scenario's simulated-cycle budget per
+/// iteration, or 0 when not applicable.
+pub fn measure(
+    name: &str,
+    iters: u32,
+    sim_cycles_per_iter: u64,
+    mut f: impl FnMut(),
+) -> Measurement {
+    f(); // warm-up: first-touch allocations, lazy statics, icache
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    Measurement {
+        name: name.to_string(),
+        iters,
+        elapsed,
+        sim_cycles: sim_cycles_per_iter * iters as u64,
+    }
+}
+
+/// Human-readable duration with a stable width-friendly unit choice.
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Print the standard report for a list of measurements.
+pub fn print_report(title: &str, rows: &[Measurement]) {
+    println!("== {title} ==");
+    for r in rows {
+        println!("{}", r.report_line());
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_iterations() {
+        let count = std::cell::Cell::new(0u32);
+        let m = measure("x", 7, 100, || count.set(count.get() + 1));
+        assert_eq!(count.get(), 8, "7 timed + 1 warm-up");
+        assert_eq!(m.iters, 7);
+        assert_eq!(m.sim_cycles, 700);
+    }
+
+    #[test]
+    fn cycles_per_sec_only_with_budget() {
+        let with = Measurement {
+            name: "a".into(),
+            iters: 1,
+            elapsed: Duration::from_millis(10),
+            sim_cycles: 1_000,
+        };
+        assert!(with.cycles_per_sec().unwrap() > 0.0);
+        let without = Measurement {
+            name: "b".into(),
+            iters: 1,
+            elapsed: Duration::from_millis(10),
+            sim_cycles: 0,
+        };
+        assert!(without.cycles_per_sec().is_none());
+        assert!(without.report_line().contains('-'));
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -2,26 +2,27 @@
 //!
 //! ```text
 //! smtsim run --workload 8W3 --policy mflush --cycles 200000
-//! smtsim run --benchmarks mcf,gzip,swim,crafty --policy flush-s50
+//! smtsim run --benchmarks mcf,gzip,swim,crafty --policy flush-s50 --json
 //! smtsim sweep --workload 8W3 --cycles 100000 --csv
-//! smtsim calibrate --cycles 60000
+//! smtsim sweep --workload 8W3 --cycles 100000 --json
+//! smtsim calibrate --cycles 60000 --json
 //! smtsim workloads
 //! smtsim policies
 //! ```
 
-use smtsim_core::calibration::{calibrate, calibration_table};
-use smtsim_core::report::{histogram_table, results_csv, throughput_table};
+use smtsim_core::calibration::{calibrate, calibration_json, calibration_table};
+use smtsim_core::report::{histogram_table, results_csv, results_json, throughput_table};
 use smtsim_core::workloads::{ALL_WORKLOADS, FIG5B_WORKLOAD};
-use smtsim_core::{run_sweep, SimConfig, Simulator, SweepJob, Workload};
+use smtsim_core::{run_sweep, SimConfig, Simulator, SweepJob, ToJson, Workload};
 use smtsim_policy::PolicyKind;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         smtsim run --workload <xWy> [--policy <p>] [--cycles N] [--seed N]\n  \
-         smtsim run --benchmarks a,b,c,d [--policy <p>] [--cycles N]\n  \
-         smtsim sweep --workload <xWy> [--cycles N] [--csv]\n  \
-         smtsim calibrate [--cycles N]\n  \
+         smtsim run --workload <xWy> [--policy <p>] [--cycles N] [--seed N] [--json]\n  \
+         smtsim run --benchmarks a,b,c,d [--policy <p>] [--cycles N] [--json]\n  \
+         smtsim sweep --workload <xWy> [--cycles N] [--csv | --json]\n  \
+         smtsim calibrate [--cycles N] [--json]\n  \
          smtsim workloads | policies\n\n\
          policies: icount, rr, brcount, l1dmisscount, adts, dcra,\n           \
          stall-sNN, stall-ns, flush-sNN, flush-ns, flush-adapt, mflush"
@@ -142,6 +143,10 @@ fn cmd_run(args: &Args) {
     }
     let workload = cfg.benchmarks.join(",");
     let r = Simulator::build(&cfg).run();
+    if args.has("json") {
+        println!("{}", r.to_json());
+        return;
+    }
     println!("workload   {workload}");
     println!("policy     {}", r.policy);
     println!("cycles     {}", r.cycles);
@@ -185,7 +190,9 @@ fn cmd_sweep(args: &Args) {
     let results: Vec<&smtsim_core::SimResult> = out.iter().map(|(_, r)| r).collect();
     let labels: Vec<&str> = out.iter().map(|(l, _)| l.as_str()).collect();
     let wl = base.benchmarks.join("+");
-    if args.has("csv") {
+    if args.has("json") {
+        println!("{}", results_json(&[(wl.as_str(), results)]));
+    } else if args.has("csv") {
         print!("{}", results_csv(&[(wl.as_str(), results)]));
     } else {
         print!("{}", throughput_table(&labels, &[(wl.as_str(), results)]));
@@ -195,7 +202,11 @@ fn cmd_sweep(args: &Args) {
 fn cmd_calibrate(args: &Args) {
     let cycles = args.get_u64("cycles", 60_000);
     let rows = calibrate(cycles, 0);
-    print!("{}", calibration_table(&rows));
+    if args.has("json") {
+        println!("{}", calibration_json(&rows));
+    } else {
+        print!("{}", calibration_table(&rows));
+    }
 }
 
 fn cmd_workloads() {

@@ -9,13 +9,12 @@
 use crate::config::SimConfig;
 use crate::sim::Simulator;
 use crate::sweep::{run_sweep, SweepJob};
-use serde::{Deserialize, Serialize};
 use smtsim_policy::PolicyKind;
 use smtsim_trace::spec;
 
 /// One benchmark's measured behaviour (self-paired on one SMT core
 /// under ICOUNT).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CalRow {
     pub name: String,
     /// Committed IPC per thread.
@@ -123,6 +122,13 @@ pub fn calibrate_one(name: &str, cycles: u64) -> CalRow {
     }
 }
 
+/// Render the calibration rows as a JSON array (machine-readable twin
+/// of [`calibration_table`]).
+pub fn calibration_json(rows: &[CalRow]) -> String {
+    use crate::json::ToJson;
+    rows.to_json()
+}
+
 /// Render a calibration table.
 pub fn calibration_table(rows: &[CalRow]) -> String {
     use std::fmt::Write;
@@ -211,5 +217,8 @@ mod tests {
         let t = calibration_table(&rows);
         assert!(t.contains("gzip"));
         assert!(t.contains("mcf"));
+        let j = calibration_json(&rows);
+        assert!(j.starts_with("[{\"name\":\"gzip\",\"ipc_per_thread\":"));
+        assert!(j.contains("{\"name\":\"mcf\""));
     }
 }

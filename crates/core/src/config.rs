@@ -1,7 +1,6 @@
 //! Experiment configuration.
 
 use crate::workloads::Workload;
-use serde::{Deserialize, Serialize};
 use smtsim_cpu::CoreConfig;
 use smtsim_mem::MemConfig;
 use smtsim_policy::{PolicyEnv, PolicyKind};
@@ -15,7 +14,7 @@ use smtsim_policy::{PolicyEnv, PolicyKind};
 pub const DEFAULT_CYCLES: u64 = 150_000;
 
 /// One complete experiment: machine + workload + policy + interval.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Per-core configuration (Fig. 1 defaults).
     pub core: CoreConfig,

@@ -1,0 +1,380 @@
+//! Hand-rolled JSON emission.
+//!
+//! The workspace carries no external crates, so result/report/figure
+//! data is serialised by this small writer instead of `serde`. The
+//! format choices are pinned down because same-seed runs must produce
+//! **byte-identical** JSON (the determinism bar in DESIGN.md §9):
+//!
+//! * object fields are emitted in declaration order — no maps, no
+//!   reordering;
+//! * floats use Rust's shortest-roundtrip `Display` (stable across
+//!   platforms and compiler versions); non-finite floats become `null`;
+//! * strings escape `"`, `\`, and all control characters below `0x20`
+//!   (`\n`/`\r`/`\t`/`\b`/`\f` short forms, `\u00XX` otherwise);
+//! * no insignificant whitespace.
+//!
+//! Implement [`ToJson`] for a type by opening a [`JsonObject`] (or
+//! writing a scalar/array directly) into the output string.
+
+use crate::calibration::CalRow;
+use crate::config::SimConfig;
+use crate::result::SimResult;
+use smtsim_cpu::{CoreStats, ThreadStats};
+use smtsim_energy::EnergyAccount;
+use smtsim_mem::{CoreMemStats, LatencyHistogram, MemStats};
+
+/// Types that can render themselves as a JSON value.
+pub trait ToJson {
+    /// Append this value's JSON rendering to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Convenience: render into a fresh string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Escape and quote a string into `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental `{...}` builder that handles commas and key quoting.
+pub struct JsonObject<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> JsonObject<'a> {
+    /// Open an object into `out`.
+    pub fn begin(out: &'a mut String) -> Self {
+        out.push('{');
+        JsonObject { out, first: true }
+    }
+
+    /// Emit one `"name":value` field.
+    pub fn field(&mut self, name: &str, value: &dyn ToJson) -> &mut Self {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_escaped(self.out, name);
+        self.out.push(':');
+        value.write_json(self.out);
+        self
+    }
+
+    /// Close the object.
+    pub fn end(self) {
+        self.out.push('}');
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        }
+    )*};
+}
+
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer formatting without a heap allocation per call.
+fn itoa_buf(v: i128) -> String {
+    // Plain `to_string` is already allocation-minimal; kept behind one
+    // function so a faster path could slot in without touching callers.
+    v.to_string()
+}
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Shortest-roundtrip decimal; always re-reads as this bit
+            // pattern. JSON has no NaN/Infinity, those become null.
+            let s = format!("{self}");
+            out.push_str(&s);
+            // `Display` prints integral floats without a dot ("2"); that
+            // is valid JSON but would re-parse as an integer. Keep the
+            // type explicit.
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(out, self);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(out, self);
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (*self).write_json(out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Domain types. `ToJson` is local to this crate, so implementing it for
+// the component crates' types here is fine (and keeps the serialisation
+// policy in one place).
+// ---------------------------------------------------------------------
+
+impl ToJson for EnergyAccount {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("committed", &self.committed())
+            .field("flush_squashed", &self.flush_squashed_by_stage())
+            .field("branch_squashed", &self.branch_squashed_by_stage())
+            .field("wasted_energy", &self.wasted_energy())
+            .field("waste_ratio", &self.waste_ratio());
+        o.end();
+    }
+}
+
+impl ToJson for ThreadStats {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("committed", &self.committed)
+            .field("fetched", &self.fetched)
+            .field("branches", &self.branches)
+            .field("mispredicts", &self.mispredicts)
+            .field("loads_issued", &self.loads_issued)
+            .field("flushes", &self.flushes)
+            .field("energy", &self.energy);
+        o.end();
+    }
+}
+
+impl ToJson for CoreStats {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("threads", &self.threads)
+            .field("fetch_active_cycles", &self.fetch_active_cycles)
+            .field("iq_full_stalls", &self.iq_full_stalls)
+            .field("reg_full_stalls", &self.reg_full_stalls)
+            .field("rob_full_stalls", &self.rob_full_stalls)
+            .field("mshr_retries", &self.mshr_retries)
+            .field("flushes_executed", &self.flushes_executed)
+            .field("stalls_executed", &self.stalls_executed)
+            .field("store_forwards", &self.store_forwards);
+        o.end();
+    }
+}
+
+impl ToJson for CoreMemStats {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("ifetches", &self.ifetches)
+            .field("ifetch_l1_misses", &self.ifetch_l1_misses)
+            .field("loads", &self.loads)
+            .field("load_l1_misses", &self.load_l1_misses)
+            .field("stores", &self.stores)
+            .field("store_l1_misses", &self.store_l1_misses)
+            .field("l2_hits", &self.l2_hits)
+            .field("l2_misses", &self.l2_misses)
+            .field("itlb_misses", &self.itlb_misses)
+            .field("dtlb_misses", &self.dtlb_misses)
+            .field("mshr_merges", &self.mshr_merges)
+            .field("mshr_full_stalls", &self.mshr_full_stalls)
+            .field("writebacks", &self.writebacks)
+            .field("prefetches", &self.prefetches);
+        o.end();
+    }
+}
+
+impl ToJson for MemStats {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("cores", &self.cores)
+            .field("l2_hit_rate", &self.l2_hit_rate());
+        o.end();
+    }
+}
+
+impl ToJson for LatencyHistogram {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("bin_width", &self.bin_width())
+            .field("bins", &self.bin_counts())
+            .field("overflow", &self.overflow())
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("min", &self.min())
+            .field("max", &self.max());
+        o.end();
+    }
+}
+
+impl ToJson for SimResult {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("policy", &self.policy)
+            .field("workload", &self.workload)
+            .field("cycles", &self.cycles)
+            .field("throughput", &self.throughput())
+            .field("hmean_ipc", &self.hmean_ipc())
+            .field("per_thread_ipc", &self.per_thread_ipc())
+            .field("total_flushes", &self.total_flushes())
+            .field("cores", &self.cores)
+            .field("mem", &self.mem)
+            .field("l2_hit_hist", &self.l2_hit_hist)
+            .field("energy", &self.energy());
+        o.end();
+    }
+}
+
+impl ToJson for CalRow {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("name", &self.name)
+            .field("ipc_per_thread", &self.ipc_per_thread)
+            .field("branch_accuracy", &self.branch_accuracy)
+            .field("l1d_miss_rate", &self.l1d_miss_rate)
+            .field("l2_hit_rate", &self.l2_hit_rate)
+            .field("dtlb_miss_rate", &self.dtlb_miss_rate);
+        o.end();
+    }
+}
+
+impl ToJson for SimConfig {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("policy", &self.policy.label())
+            .field("benchmarks", &self.benchmarks)
+            .field("cycles", &self.cycles)
+            .field("seed", &self.seed)
+            .field("warmup", &self.warmup)
+            .field("cores", &self.cores())
+            .field("contexts_per_core", &self.core.contexts)
+            .field("l2_banks", &self.mem.l2_banks)
+            .field("l2_clusters", &self.mem.l2_clusters);
+        o.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!((-7i64).to_json(), "-7");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(2.0f64.to_json(), "2.0");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+        assert_eq!("hi".to_json(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(
+            "a\"b\\c\nd\te\u{1}".to_json(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn collections_render() {
+        assert_eq!(vec![1u64, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!([1.5f64, 0.25].to_json(), "[1.5,0.25]");
+        assert_eq!(Vec::<u64>::new().to_json(), "[]");
+        assert_eq!(Some(5u32).to_json(), "5");
+        assert_eq!(None::<u32>.to_json(), "null");
+    }
+
+    #[test]
+    fn objects_comma_correctly() {
+        let mut s = String::new();
+        let mut o = JsonObject::begin(&mut s);
+        o.field("a", &1u64).field("b", &"x");
+        o.end();
+        assert_eq!(s, "{\"a\":1,\"b\":\"x\"}");
+
+        let mut s = String::new();
+        JsonObject::begin(&mut s).end();
+        assert_eq!(s, "{}");
+    }
+
+    #[test]
+    fn float_roundtrip_is_shortest_form() {
+        // The throughput of a 100-commit / 300-cycle run.
+        let v = 100.0f64 / 300.0;
+        let j = v.to_json();
+        assert_eq!(j.parse::<f64>().unwrap(), v);
+        assert_eq!(j, "0.3333333333333333");
+    }
+}

@@ -13,12 +13,16 @@
 //!   experiment (machine + workload + policy + interval);
 //! * [`sim`] — the cycle-level driver;
 //! * [`result`] — measurement snapshot with throughput/energy helpers;
-//! * [`sweep`] — a crossbeam-based parallel runner for parameter sweeps
-//!   (each simulation is independent, so sweeps scale with host cores);
-//! * [`report`] — plain-text tables matching the paper's figures.
+//! * [`sweep`] — a `std::thread::scope` parallel runner for parameter
+//!   sweeps (each simulation is independent, so sweeps scale with host
+//!   cores);
+//! * [`report`] — plain-text tables matching the paper's figures;
+//! * [`json`] — dependency-free JSON emission ([`json::ToJson`]) for
+//!   machine-readable results.
 
 pub mod calibration;
 pub mod config;
+pub mod json;
 pub mod report;
 pub mod result;
 pub mod sim;
@@ -26,6 +30,7 @@ pub mod sweep;
 pub mod workloads;
 
 pub use calibration::{calibrate, calibrate_one, CalRow};
+pub use json::ToJson;
 pub use config::SimConfig;
 pub use result::SimResult;
 pub use sim::Simulator;

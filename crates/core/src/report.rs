@@ -1,5 +1,6 @@
 //! Plain-text rendering of results, matching the paper's figures.
 
+use crate::json::JsonObject;
 use crate::result::SimResult;
 use smtsim_mem::LatencyHistogram;
 use std::fmt::Write;
@@ -87,6 +88,28 @@ pub fn results_csv(rows: &[(&str, Vec<&SimResult>)]) -> String {
             );
         }
     }
+    s
+}
+
+/// JSON export of a result grid, mirroring [`results_csv`] row-for-row:
+/// a flat array of `{"label":...,"result":{...}}` objects, where
+/// `result` carries the full [`SimResult`] rendering (per-core stats,
+/// memory counters, the Fig. 4 histogram, the energy ledger).
+pub fn results_json(rows: &[(&str, Vec<&SimResult>)]) -> String {
+    let mut s = String::from("[");
+    let mut first = true;
+    for (label, results) in rows {
+        for r in results {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let mut o = JsonObject::begin(&mut s);
+            o.field("label", label).field("result", r);
+            o.end();
+        }
+    }
+    s.push(']');
     s
 }
 
@@ -203,6 +226,18 @@ mod tests {
         assert!(lines[0].starts_with("workload,policy,"));
         assert!(lines[1].starts_with("2W1,X,100,100,1.000000,"));
         assert!(lines[2].contains(",250,2.500000,"));
+    }
+
+    #[test]
+    fn json_grid_is_flat_and_labelled() {
+        let a = fake(100, 100);
+        let b = fake(250, 100);
+        let j = results_json(&[("2W1", vec![&a, &b])]);
+        assert!(j.starts_with("[{\"label\":\"2W1\",\"result\":{\"policy\":\"X\""));
+        assert_eq!(j.matches("\"label\":\"2W1\"").count(), 2);
+        assert!(j.contains("\"throughput\":1.0"));
+        assert!(j.contains("\"throughput\":2.5"));
+        assert!(j.ends_with("}]"));
     }
 
     #[test]

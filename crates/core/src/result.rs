@@ -1,12 +1,11 @@
 //! Measurement snapshot of one simulation run.
 
-use serde::{Deserialize, Serialize};
 use smtsim_cpu::CoreStats;
 use smtsim_energy::EnergyAccount;
 use smtsim_mem::{LatencyHistogram, MemStats};
 
 /// Everything the figure harness needs from one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Policy label (e.g. `"FLUSH-S100"`).
     pub policy: String,

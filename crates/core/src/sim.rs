@@ -156,10 +156,46 @@ mod tests {
 
     #[test]
     fn deterministic_runs() {
+        // Byte-identical JSON, not just matching headline counters:
+        // any nondeterminism anywhere in the stats would show up here.
+        use crate::json::ToJson;
         let a = quick("4W3", PolicyKind::FlushSpec(30), 6_000);
         let b = quick("4W3", PolicyKind::FlushSpec(30), 6_000);
         assert_eq!(a.total_committed(), b.total_committed());
         assert_eq!(a.total_flushes(), b.total_flushes());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn deterministic_across_sweep_workers() {
+        // The same configs run serially, through a parallel sweep, and
+        // through a differently-sized parallel sweep must produce
+        // byte-identical JSON — worker count and scheduling are not
+        // allowed to leak into results.
+        use crate::json::ToJson;
+        use crate::sweep::{run_sweep, SweepJob};
+        let jobs: Vec<SweepJob> = [
+            ("a", "2W2", PolicyKind::Icount),
+            ("b", "4W3", PolicyKind::Mflush),
+            ("c", "2W5", PolicyKind::FlushSpec(30)),
+        ]
+        .into_iter()
+        .map(|(label, wl, p)| {
+            let w = Workload::by_name(wl).unwrap();
+            SweepJob::new(label, SimConfig::for_workload(w, p).with_cycles(4_000))
+        })
+        .collect();
+        let serial: Vec<String> = jobs
+            .iter()
+            .map(|j| Simulator::build(&j.config).run().to_json())
+            .collect();
+        for workers in [1, 2, 3] {
+            let swept: Vec<String> = run_sweep(&jobs, workers)
+                .iter()
+                .map(|(_, r)| r.to_json())
+                .collect();
+            assert_eq!(serial, swept, "sweep with {workers} workers diverged");
+        }
     }
 
     #[test]

@@ -3,15 +3,15 @@
 //! Figure regeneration sweeps dozens of independent simulations
 //! (workload × policy × machine size). Each simulation is single-
 //! threaded and deterministic, so the sweep parallelises embarrassingly:
-//! a crossbeam scope spawns one worker per host core, workers claim jobs
-//! from an atomic counter, and results land in their job's slot —
+//! a `std::thread::scope` spawns one worker per host core, workers claim
+//! jobs from an atomic counter, and results land in their job's slot —
 //! deterministic output order regardless of scheduling.
 
 use crate::config::SimConfig;
 use crate::result::SimResult;
 use crate::sim::Simulator;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One labelled experiment in a sweep.
 #[derive(Debug, Clone)]
@@ -48,26 +48,29 @@ pub fn run_sweep(jobs: &[SweepJob], max_workers: usize) -> Vec<(String, SimResul
     let results: Vec<Mutex<Option<SimResult>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
 
-    crossbeam::scope(|s| {
+    // A scoped thread that panics propagates on join (end of scope), so
+    // a failing job aborts the sweep just as the crossbeam version did.
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
                 let result = Simulator::build(&jobs[i].config).run();
-                *results[i].lock() = Some(result);
+                *results[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     jobs.iter()
         .zip(results)
         .map(|(job, slot)| {
             (
                 job.label.clone(),
-                slot.into_inner().expect("every job produces a result"),
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job produces a result"),
             )
         })
         .collect()

@@ -1,9 +1,8 @@
 //! Core configuration (paper Fig. 1, "Core Parameters").
 
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one SMT core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Hardware contexts (2 in every paper configuration).
     pub contexts: u32,

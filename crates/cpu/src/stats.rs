@@ -1,10 +1,9 @@
 //! Core and thread statistics snapshots.
 
-use serde::{Deserialize, Serialize};
 use smtsim_energy::EnergyAccount;
 
 /// Per-thread statistics snapshot.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ThreadStats {
     pub committed: u64,
     pub fetched: u64,
@@ -36,7 +35,7 @@ impl ThreadStats {
 }
 
 /// Per-core statistics snapshot.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CoreStats {
     pub threads: Vec<ThreadStats>,
     /// Cycles in which at least one instruction was fetched.

@@ -7,10 +7,9 @@
 //! refetching instructions it threw away.
 
 use crate::ecf::{accumulated_factor, PipelineStage, ALL_STAGES};
-use serde::{Deserialize, Serialize};
 
 /// Why an instruction was squashed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SquashCause {
     /// The fetch policy's FLUSH response action — this is what Fig. 11
     /// charges as *wasted* energy.
@@ -22,7 +21,7 @@ pub enum SquashCause {
 
 /// Per-thread (or aggregated) energy ledger, in units of
 /// "energy to commit one instruction".
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EnergyAccount {
     committed: u64,
     /// Squashed-by-flush counts per deepest-completed stage.
@@ -77,6 +76,11 @@ impl EnergyAccount {
     /// Per-stage flush-squash counts (pipeline order).
     pub fn flush_squashed_by_stage(&self) -> [u64; 8] {
         self.flush_squashed
+    }
+
+    /// Per-stage mispredict-squash counts (pipeline order).
+    pub fn branch_squashed_by_stage(&self) -> [u64; 8] {
+        self.branch_squashed
     }
 
     /// Fig. 11's *Wasted Energy*: Σ over flush-squashed instructions of

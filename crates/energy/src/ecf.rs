@@ -1,12 +1,11 @@
 //! The Energy Consumption Factor table (paper Fig. 10) and the
 //! per-resource energy distribution it is derived from (paper Fig. 9).
 
-use serde::{Deserialize, Serialize};
 
 /// The eight accounted pipeline stages of the paper's 11-stage core
 /// (Fig. 9b/Fig. 10 granularity; the remaining physical stages are
 /// sub-stages of these).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum PipelineStage {
     Fetch = 0,
@@ -85,7 +84,7 @@ pub fn accumulated_factor(stage: PipelineStage) -> f64 {
 
 /// One row of the paper's Fig. 9(a): share of core energy per hardware
 /// resource, with the pipeline stage(s) that exercise it (Fig. 9(b)).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceEnergy {
     pub resource: &'static str,
     /// Percentage of core energy (sums to 100 across the table).

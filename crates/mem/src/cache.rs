@@ -5,10 +5,9 @@
 //! non-power-of-two set count (handled by modulo indexing).
 
 use crate::addr::{line_index, LINE_BYTES};
-use serde::{Deserialize, Serialize};
 
 /// Replacement policy for a set-associative cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplacementPolicy {
     /// Evict the least-recently-used way (exact stamps).
     Lru,
@@ -18,7 +17,7 @@ pub enum ReplacementPolicy {
 }
 
 /// Size/shape of a cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub bytes: u64,

@@ -5,10 +5,9 @@
 //! queue until it is finally served". We collect that distribution in
 //! fixed-width bins with an overflow bucket.
 
-use serde::{Deserialize, Serialize};
 
 /// Fixed-width latency histogram with overflow.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     bin_width: u64,
     bins: Vec<u64>,
@@ -56,6 +55,26 @@ impl LatencyHistogram {
     /// Samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Width of one bin in cycles.
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// Raw per-bin counts (without the overflow bucket).
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Samples beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Sum of all recorded samples (for exact mean recomputation).
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Mean latency (0 if empty).

@@ -59,6 +59,7 @@ pub mod util;
 pub use cache::{AccessOutcome, CacheGeometry, ReplacementPolicy, SetAssocCache};
 pub use histogram::LatencyHistogram;
 pub use system::{
-    AccessKind, AccessResult, Completion, MemConfig, MemEvent, MemStats, MemorySystem, ReqId,
+    AccessKind, AccessResult, Completion, CoreMemStats, MemConfig, MemEvent, MemStats,
+    MemorySystem, ReqId,
 };
 pub use tlb::Tlb;

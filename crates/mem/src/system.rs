@@ -19,7 +19,6 @@ use crate::l2bank::{BankOp, BankOutcome, L2Bank};
 use crate::mshr::{MshrAlloc, MshrFile};
 use crate::tlb::Tlb;
 use crate::util::Slab;
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -27,7 +26,7 @@ use std::collections::BinaryHeap;
 pub type ReqId = u32;
 
 /// What kind of access the core performs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessKind {
     /// Instruction fetch (L1I + I-TLB path).
     IFetch,
@@ -87,7 +86,7 @@ pub enum MemEvent {
 }
 
 /// Configuration of the whole hierarchy (defaults = paper Fig. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemConfig {
     /// Number of SMT cores sharing the L2.
     pub num_cores: u32,
@@ -232,7 +231,7 @@ impl MemConfig {
 }
 
 /// Per-core memory statistics.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CoreMemStats {
     pub ifetches: u64,
     pub ifetch_l1_misses: u64,
@@ -251,7 +250,7 @@ pub struct CoreMemStats {
 }
 
 /// Aggregate statistics for the whole system.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MemStats {
     pub cores: Vec<CoreMemStats>,
 }

@@ -1,43 +1,49 @@
 //! Property-based tests of the memory substrates against simple
-//! reference models.
+//! reference models, on the in-repo harness (`smtsim_trace::check`).
 
-use proptest::prelude::*;
 use smtsim_mem::util::Slab;
 use smtsim_mem::{CacheGeometry, LatencyHistogram, ReplacementPolicy, SetAssocCache, Tlb};
+use smtsim_trace::check::Cases;
 use std::collections::{HashMap, HashSet};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// The slab behaves like a map: inserted values are retrievable
-    /// until removed, never after; len always matches the model.
-    #[test]
-    fn slab_matches_hashmap_model(ops in prop::collection::vec((any::<bool>(), any::<u16>()), 1..400)) {
+/// The slab behaves like a map: inserted values are retrievable until
+/// removed, never after; len always matches the model.
+#[test]
+fn slab_matches_hashmap_model() {
+    Cases::new(48).run("slab_matches_hashmap_model", |g| {
+        let ops = g.vec_of(1..400, |g| (g.bool(), g.u32_in(0..0x1_0000) as u16));
         let mut slab: Slab<u16> = Slab::new();
         let mut model: HashMap<u32, u16> = HashMap::new();
         let mut live: Vec<u32> = Vec::new();
         for (insert, v) in ops {
             if insert || live.is_empty() {
                 let k = slab.insert(v);
-                prop_assert!(!model.contains_key(&k), "key {k} double-alive");
+                assert!(!model.contains_key(&k), "key {k} double-alive");
                 model.insert(k, v);
                 live.push(k);
             } else {
                 let k = live.swap_remove((v as usize) % live.len());
-                prop_assert_eq!(slab.remove(k), model.remove(&k));
+                assert_eq!(slab.remove(k), model.remove(&k));
             }
-            prop_assert_eq!(slab.len(), model.len());
+            assert_eq!(slab.len(), model.len());
             for (&k, &mv) in &model {
-                prop_assert_eq!(slab.get(k), Some(&mv));
+                assert_eq!(slab.get(k), Some(&mv));
             }
         }
-    }
+    });
+}
 
-    /// A cache access hits iff the line is resident under an LRU model
-    /// with the same geometry.
-    #[test]
-    fn cache_matches_lru_model(addrs in prop::collection::vec(0u64..(1 << 16), 1..500)) {
-        let geom = CacheGeometry { bytes: 8 * 64 * 4, ways: 4, line_bytes: 64 }; // 8 sets
+/// A cache access hits iff the line is resident under an LRU model with
+/// the same geometry.
+#[test]
+fn cache_matches_lru_model() {
+    Cases::new(48).run("cache_matches_lru_model", |g| {
+        let addrs = g.vec_of(1..500, |g| g.u64_in(0..(1 << 16)));
+        let geom = CacheGeometry {
+            bytes: 8 * 64 * 4,
+            ways: 4,
+            line_bytes: 64,
+        }; // 8 sets
         let mut cache = SetAssocCache::new(geom, ReplacementPolicy::Lru);
         // Model: per set, an LRU-ordered vec of tags.
         let sets = geom.sets();
@@ -48,7 +54,7 @@ proptest! {
             let tag = line / sets;
             let hit_model = model[set].contains(&tag);
             let hit = cache.access(a, false) == smtsim_mem::AccessOutcome::Hit;
-            prop_assert_eq!(hit, hit_model, "addr {:#x}", a);
+            assert_eq!(hit, hit_model, "addr {a:#x}");
             if hit_model {
                 // refresh
                 model[set].retain(|&t| t != tag);
@@ -61,58 +67,71 @@ proptest! {
                 model[set].push(tag);
             }
         }
-    }
+    });
+}
 
-    /// The TLB hits iff the page is in the model's LRU window.
-    #[test]
-    fn tlb_matches_lru_model(pages in prop::collection::vec(0u64..32, 1..300)) {
+/// The TLB hits iff the page is in the model's LRU window.
+#[test]
+fn tlb_matches_lru_model() {
+    Cases::new(48).run("tlb_matches_lru_model", |g| {
+        let pages = g.vec_of(1..300, |g| g.u64_in(0..32));
         let mut tlb = Tlb::new(8);
         let mut model: Vec<u64> = Vec::new();
         for p in pages {
             let addr = p * 8192 + 12;
             let hit_model = model.contains(&p);
-            prop_assert_eq!(tlb.access(addr), hit_model);
+            assert_eq!(tlb.access(addr), hit_model);
             model.retain(|&q| q != p);
             model.push(p);
             if model.len() > 8 {
                 model.remove(0);
             }
         }
-    }
+    });
+}
 
-    /// Histogram statistics match naive recomputation.
-    #[test]
-    fn histogram_matches_naive_stats(samples in prop::collection::vec(0u64..400, 1..300)) {
+/// Histogram statistics match naive recomputation.
+#[test]
+fn histogram_matches_naive_stats() {
+    Cases::new(48).run("histogram_matches_naive_stats", |g| {
+        let samples = g.vec_of(1..300, |g| g.u64_in(0..400));
         let mut h = LatencyHistogram::new(5, 40); // covers [0, 200)
         for &s in &samples {
             h.record(s);
         }
-        prop_assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.count(), samples.len() as u64);
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-        prop_assert!((h.mean() - mean).abs() < 1e-9);
-        prop_assert_eq!(h.min(), samples.iter().min().copied());
-        prop_assert_eq!(h.max(), samples.iter().max().copied());
+        assert!((h.mean() - mean).abs() < 1e-9);
+        assert_eq!(h.min(), samples.iter().min().copied());
+        assert_eq!(h.max(), samples.iter().max().copied());
         // fraction_between over the whole range is 1.
-        prop_assert!((h.fraction_between(0, u64::MAX) - 1.0).abs() < 1e-9);
-    }
+        assert!((h.fraction_between(0, u64::MAX) - 1.0).abs() < 1e-9);
+    });
+}
 
-    /// Cache fills never exceed capacity and invalidation removes
-    /// exactly the requested lines.
-    #[test]
-    fn cache_capacity_and_invalidate(addrs in prop::collection::vec(0u64..(1 << 20), 1..400)) {
-        let geom = CacheGeometry { bytes: 16 << 10, ways: 4, line_bytes: 64 };
+/// Cache fills never exceed capacity and invalidation removes exactly
+/// the requested lines.
+#[test]
+fn cache_capacity_and_invalidate() {
+    Cases::new(48).run("cache_capacity_and_invalidate", |g| {
+        let addrs = g.vec_of(1..400, |g| g.u64_in(0..(1 << 20)));
+        let geom = CacheGeometry {
+            bytes: 16 << 10,
+            ways: 4,
+            line_bytes: 64,
+        };
         let mut cache = SetAssocCache::new(geom, ReplacementPolicy::Lru);
         let mut filled: HashSet<u64> = HashSet::new();
         for &a in &addrs {
             cache.fill(a, false);
             filled.insert(a & !63);
-            prop_assert!(cache.valid_lines() <= cache.capacity_lines());
+            assert!(cache.valid_lines() <= cache.capacity_lines());
         }
         for &line in filled.iter().take(20) {
             if cache.probe(line) {
-                prop_assert!(cache.invalidate(line));
-                prop_assert!(!cache.probe(line));
+                assert!(cache.invalidate(line));
+                assert!(!cache.probe(line));
             }
         }
-    }
+    });
 }

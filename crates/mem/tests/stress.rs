@@ -3,9 +3,8 @@
 //! ifetch/load/store traffic from several cores, with address streams
 //! that exercise MSHR merging, bank queueing and TLB walks.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use smtsim_mem::{AccessKind, AccessResult, MemConfig, MemorySystem, ReqId};
+use smtsim_trace::rng::Xoshiro256pp;
 use std::collections::HashMap;
 
 /// Worst-case legitimate latency: TLB walk + L1 + bus queue + bank
@@ -14,7 +13,7 @@ const DEADLINE: u64 = 4_000;
 
 fn stress(cores: u32, cycles: u64, seed: u64, addr_pool: u64) {
     let mut m = MemorySystem::new(MemConfig::paper(cores));
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut outstanding: HashMap<(u32, ReqId), u64> = HashMap::new();
     for now in 0..cycles {
         m.tick(now);

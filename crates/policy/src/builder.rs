@@ -16,10 +16,9 @@ use crate::mflush::{McRegConfig, MflushConfig, MflushPolicy};
 use crate::miss_predictor::MissPredictFlushPolicy;
 use crate::stall::StallPolicy;
 use crate::types::FetchPolicy;
-use serde::{Deserialize, Serialize};
 
 /// Which fetch policy to run (one per SMT core).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PolicyKind {
     /// ICOUNT baseline.
     Icount,
@@ -93,7 +92,7 @@ impl PolicyKind {
 }
 
 /// Machine parameters a policy may need (from the memory configuration).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolicyEnv {
     /// Nominal L1-miss/L2-hit latency (MIN).
     pub min_latency: u64,

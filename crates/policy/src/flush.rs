@@ -13,10 +13,9 @@
 //! free the thread's resources, gate its fetch until the load resolves.
 
 use crate::types::{icount_order, FetchPolicy, LoadToken, PolicyAction, ThreadSnapshot};
-use serde::{Deserialize, Serialize};
 
 /// Detection moment for FLUSH/STALL-style policies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlushTrigger {
     /// Speculative: trigger `0.X` cycles after LSQ issue (paper sweeps
     /// 30–150).

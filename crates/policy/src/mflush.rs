@@ -17,14 +17,13 @@
 //! `MIN` = nominal L1-miss/L2-hit latency and `MAX` = L2-miss latency.
 
 use crate::types::{icount_order, FetchPolicy, LoadToken, PolicyAction, ThreadSnapshot};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// How a multi-entry MCReg history is reduced to one prediction
 /// (paper §4.1: "more complex configurations, involving queues … and
 /// more complex functions"; the paper itself uses a single register =
 /// `history: 1`, `Last`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum McRegReducer {
     /// Use the most recent observation (the paper's choice).
     Last,
@@ -35,7 +34,7 @@ pub enum McRegReducer {
 }
 
 /// MCReg configuration (history length ≥ 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct McRegConfig {
     pub history: usize,
     pub reducer: McRegReducer,
@@ -115,7 +114,7 @@ impl McRegFile {
 
 /// MFLUSH configuration, derived from the machine (see
 /// [`crate::builder::PolicyEnv`]) plus ablation switches.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MflushConfig {
     /// Nominal L1-miss / L2-hit latency (paper MIN; 22 on Fig. 1).
     pub min: u64,
@@ -200,7 +199,7 @@ struct MfThread {
 }
 
 /// Counters exposed for evaluation and tests.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MflushStats {
     pub preventive_entries: u64,
     pub flushes: u64,

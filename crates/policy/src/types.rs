@@ -1,6 +1,5 @@
 //! The policy ↔ core interface.
 
-use serde::{Deserialize, Serialize};
 
 /// Core-assigned identifier of one dynamic load instruction. Unique per
 /// (core, in-flight window); the policy treats it as opaque.
@@ -11,7 +10,7 @@ pub type LoadToken = u64;
 /// `in_frontend` is ICOUNT's metric — instructions in the pre-issue
 /// stages (fetched/decoded/renamed but not yet issued). The extra
 /// counters serve the BRCOUNT / L1DMISSCOUNT related-work policies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreadSnapshot {
     /// Context index within the core.
     pub tid: usize,

@@ -1,42 +1,40 @@
-//! Property-based tests over the policy layer.
+//! Property-based tests over the policy layer, on the in-repo harness
+//! (`smtsim_trace::check`).
 
-use proptest::prelude::*;
 use smtsim_policy::mflush::{McRegConfig, McRegFile, McRegReducer, MflushConfig};
 use smtsim_policy::{build_policy, PolicyEnv, PolicyKind, ThreadSnapshot};
+use smtsim_trace::check::{Cases, Gen};
 
-fn any_policy() -> impl Strategy<Value = PolicyKind> {
-    prop_oneof![
-        Just(PolicyKind::Icount),
-        Just(PolicyKind::RoundRobin),
-        Just(PolicyKind::Brcount),
-        Just(PolicyKind::L1dMissCount),
-        Just(PolicyKind::Adts),
-        Just(PolicyKind::Dcra),
-        (1u64..500).prop_map(PolicyKind::FlushSpec),
-        Just(PolicyKind::FlushNonSpec),
-        (1u64..500).prop_map(PolicyKind::StallSpec),
-        Just(PolicyKind::StallNonSpec),
-        Just(PolicyKind::Mflush),
-        Just(PolicyKind::FlushAdaptive),
-        Just(PolicyKind::FlushMissPredict),
-    ]
+fn any_policy(g: &mut Gen) -> PolicyKind {
+    match g.u32_in(0..13) {
+        0 => PolicyKind::Icount,
+        1 => PolicyKind::RoundRobin,
+        2 => PolicyKind::Brcount,
+        3 => PolicyKind::L1dMissCount,
+        4 => PolicyKind::Adts,
+        5 => PolicyKind::Dcra,
+        6 => PolicyKind::FlushSpec(g.u64_in(1..500)),
+        7 => PolicyKind::FlushNonSpec,
+        8 => PolicyKind::StallSpec(g.u64_in(1..500)),
+        9 => PolicyKind::StallNonSpec,
+        10 => PolicyKind::Mflush,
+        11 => PolicyKind::FlushAdaptive,
+        _ => PolicyKind::FlushMissPredict,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// The Barrier always stays inside the operational environment
-    /// `[MIN+MT, MAX+MT]` for any machine shape and prediction.
-    #[test]
-    fn barrier_always_in_operational_environment(
-        cores in 1u32..16,
-        banks in 1u32..16,
-        bus in 1u64..32,
-        bank_delay in 1u64..64,
-        min in 4u64..100,
-        extra in 1u64..1000,
-        prediction in 0u64..10_000,
-    ) {
+/// The Barrier always stays inside the operational environment
+/// `[MIN+MT, MAX+MT]` for any machine shape and prediction.
+#[test]
+fn barrier_always_in_operational_environment() {
+    Cases::new(64).run("barrier_always_in_operational_environment", |g| {
+        let cores = g.u32_in(1..16);
+        let banks = g.u32_in(1..16);
+        let bus = g.u64_in(1..32);
+        let bank_delay = g.u64_in(1..64);
+        let min = g.u64_in(4..100);
+        let extra = g.u64_in(1..1000);
+        let prediction = g.u64_in(0..10_000);
         let cfg = MflushConfig {
             min,
             max: min + extra,
@@ -49,49 +47,42 @@ proptest! {
             mt_enabled: true,
         };
         let b = cfg.barrier(prediction);
-        prop_assert!(b >= cfg.min + cfg.mt());
-        prop_assert!(b <= cfg.max + cfg.mt());
+        assert!(b >= cfg.min + cfg.mt());
+        assert!(b <= cfg.max + cfg.mt());
         // The preventive threshold sits at or below every barrier.
-        prop_assert!(cfg.preventive_threshold() <= b);
-    }
+        assert!(cfg.preventive_threshold() <= b);
+    });
+}
 
-    /// MCReg predictions are always within the observed value range
-    /// (after u8 saturation), for every reducer and history length.
-    #[test]
-    fn mcreg_prediction_bounded_by_observations(
-        history in 1usize..8,
-        reducer in prop_oneof![
-            Just(McRegReducer::Last),
-            Just(McRegReducer::Mean),
-            Just(McRegReducer::Max)
-        ],
-        obs in prop::collection::vec(0u64..2_000, 1..40),
-    ) {
+/// MCReg predictions are always within the observed value range (after
+/// u8 saturation), for every reducer and history length.
+#[test]
+fn mcreg_prediction_bounded_by_observations() {
+    Cases::new(64).run("mcreg_prediction_bounded_by_observations", |g| {
+        let history = g.usize_in(1..8);
+        let reducer = *g.choose(&[McRegReducer::Last, McRegReducer::Mean, McRegReducer::Max]);
+        let obs = g.vec_of(1..40, |g| g.u64_in(0..2_000));
         let mut f = McRegFile::new(1, 22, McRegConfig { history, reducer });
         for &o in &obs {
             f.update(0, o);
         }
-        let window: Vec<u64> = obs
-            .iter()
-            .rev()
-            .take(history)
-            .map(|&o| o.min(255))
-            .collect();
+        let window: Vec<u64> = obs.iter().rev().take(history).map(|&o| o.min(255)).collect();
         let p = f.predict(0);
-        prop_assert!(p >= *window.iter().min().unwrap());
-        prop_assert!(p <= *window.iter().max().unwrap());
-    }
+        assert!(p >= *window.iter().min().unwrap());
+        assert!(p <= *window.iter().max().unwrap());
+    });
+}
 
-    /// Every policy returns a complete, duplicate-free fetch priority
-    /// permutation for arbitrary snapshot contents.
-    #[test]
-    fn fetch_priority_is_a_permutation(
-        kind in any_policy(),
-        threads in 1usize..8,
-        frontends in prop::collection::vec(0u32..100, 8),
-        misses in prop::collection::vec(0u32..16, 8),
-        cycle in 0u64..100_000,
-    ) {
+/// Every policy returns a complete, duplicate-free fetch priority
+/// permutation for arbitrary snapshot contents.
+#[test]
+fn fetch_priority_is_a_permutation() {
+    Cases::new(64).run("fetch_priority_is_a_permutation", |g| {
+        let kind = any_policy(g);
+        let threads = g.usize_in(1..8);
+        let frontends: Vec<u32> = (0..8).map(|_| g.u32_in(0..100)).collect();
+        let misses: Vec<u32> = (0..8).map(|_| g.u32_in(0..16)).collect();
+        let cycle = g.u64_in(0..100_000);
         let env = PolicyEnv::paper(4);
         let mut p = build_policy(kind, &env);
         let snaps: Vec<ThreadSnapshot> = (0..threads)
@@ -106,16 +97,24 @@ proptest! {
         p.fetch_priority(cycle, &snaps, &mut out);
         let mut sorted = out.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..threads).collect::<Vec<_>>());
-    }
+        assert_eq!(sorted, (0..threads).collect::<Vec<_>>());
+    });
+}
 
-    /// Policies never emit actions for threads they were never told
-    /// about, under an arbitrary stream of load events.
-    #[test]
-    fn actions_reference_known_threads(
-        kind in any_policy(),
-        events in prop::collection::vec((0usize..2, 0u64..64, 0u32..4, 0u64..500), 0..60),
-    ) {
+/// Policies never emit actions for threads they were never told about,
+/// under an arbitrary stream of load events.
+#[test]
+fn actions_reference_known_threads() {
+    Cases::new(64).run("actions_reference_known_threads", |g| {
+        let kind = any_policy(g);
+        let events = g.vec_of(0..60, |g| {
+            (
+                g.usize_in(0..2),
+                g.u64_in(0..64),
+                g.u32_in(0..4),
+                g.u64_in(0..500),
+            )
+        });
         let env = PolicyEnv::paper(4);
         let mut p = build_policy(kind, &env);
         let snaps = [ThreadSnapshot::idle(0), ThreadSnapshot::idle(1)];
@@ -134,7 +133,7 @@ proptest! {
                 smtsim_policy::PolicyAction::Stall { tid } => *tid,
                 smtsim_policy::PolicyAction::Resume { tid } => *tid,
             };
-            prop_assert!(tid < 2, "action for unknown thread {tid}");
+            assert!(tid < 2, "action for unknown thread {tid}");
         }
-    }
+    });
 }

@@ -250,3 +250,4 @@ mod tests {
         assert_eq!(s.mean_dep_distance(), 0.0);
     }
 }
+

@@ -11,8 +11,7 @@
 
 use crate::instr::{DynInstr, InstrClass, UncondKind};
 use crate::profile::BenchProfile;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Xoshiro256pp;
 
 /// Base address of the synthetic code segments. Each benchmark's code
 /// lives at `CODE_BASE + hash(name) · CODE_SPACING`, so instances of the
@@ -118,7 +117,7 @@ impl BasicBlockDict {
     /// (loops), forward otherwise — giving realistic I-cache and BTB
     /// locality.
     pub fn generate(profile: &BenchProfile, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_b10c_d1c7_0000);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5eed_b10c_d1c7_0000);
         let n = profile.code_blocks.max(2) as usize;
         let uncond_frac = {
             let b = profile.mix.branch_cond + profile.mix.branch_uncond;
@@ -146,7 +145,11 @@ impl BasicBlockDict {
         let mut blocks = Vec::with_capacity(n);
         let mut pc = base;
         for (idx, &len) in lengths.iter().enumerate() {
-            let uncond = rng.gen::<f64>() < uncond_frac;
+            // The final block has no physically contiguous successor —
+            // its fall-through wraps to the segment base — so it must
+            // end in an unconditional branch or a not-taken conditional
+            // would break PC continuity.
+            let uncond = idx == n - 1 || rng.gen::<f64>() < uncond_frac;
             let (term, bias, taken_succ) = if uncond {
                 // Split unconditional terminators into jumps, calls and
                 // returns (returns slightly rarer; an unmatched return
@@ -169,10 +172,7 @@ impl BasicBlockDict {
                     Self::pick_target(&mut rng, idx, n, backward),
                 )
             };
-            let mut classes = Vec::with_capacity(len);
-            for _ in 0..len - 1 {
-                classes.push(Self::body_class(&mut rng, profile));
-            }
+            let mut classes = Self::body_classes(&mut rng, profile, len - 1);
             classes.push(if uncond {
                 InstrClass::BranchUncond
             } else {
@@ -197,37 +197,75 @@ impl BasicBlockDict {
         }
     }
 
-    /// Draw a non-branch instruction class from the profile mix.
-    fn body_class(rng: &mut SmallRng, profile: &BenchProfile) -> InstrClass {
+    /// Fill `n` body slots with non-branch classes matching the profile
+    /// mix *within the block* (largest-remainder quotas, then a shuffle
+    /// for intra-block ordering).
+    ///
+    /// Stratifying per block instead of drawing each slot independently
+    /// keeps the *executed* stream on the profile targets no matter how
+    /// unevenly the control flow weights blocks: loops replay the same
+    /// few hot blocks thousands of times, so with independent draws the
+    /// stream mix is whatever those particular blocks happened to get.
+    fn body_classes(rng: &mut Xoshiro256pp, profile: &BenchProfile, n: usize) -> Vec<InstrClass> {
         let m = &profile.mix;
-        // Normalise over non-branch classes.
-        let non_branch = 1.0 - m.branch_cond - m.branch_uncond;
-        let r = rng.gen::<f64>() * non_branch.max(1e-9);
-        let mut acc = m.load;
-        if r < acc {
-            return InstrClass::Load;
+        // Weights normalised over the non-branch classes; IntAlu takes
+        // whatever the profile leaves unassigned.
+        let named = [
+            (InstrClass::Load, m.load),
+            (InstrClass::Store, m.store),
+            (InstrClass::IntMul, m.int_mul),
+            (InstrClass::FpAlu, m.fp_alu),
+            (InstrClass::FpMul, m.fp_mul),
+            (InstrClass::FpDiv, m.fp_div),
+        ];
+        let non_branch = (1.0 - m.branch_cond - m.branch_uncond).max(1e-9);
+        let int_alu = (non_branch - named.iter().map(|(_, w)| w).sum::<f64>()).max(0.0);
+        let weights = [
+            named[0], named[1], named[2], named[3], named[4], named[5],
+            (InstrClass::IntAlu, int_alu),
+        ];
+
+        // Largest-remainder apportionment of the n slots. The extra
+        // slots are drawn proportionally to the remainders rather than
+        // by a fixed tie-break: remainders depend only on (len, mix),
+        // so a deterministic rule would starve the same classes in
+        // every block of a given length and the rounding error would
+        // never average out across the dictionary.
+        let mut quotas = [0usize; 7];
+        let mut rem = [0.0f64; 7];
+        let mut assigned = 0usize;
+        for (i, &(_, w)) in weights.iter().enumerate() {
+            let exact = n as f64 * w / non_branch;
+            quotas[i] = exact.floor() as usize;
+            assigned += quotas[i];
+            rem[i] = exact - exact.floor();
         }
-        acc += m.store;
-        if r < acc {
-            return InstrClass::Store;
+        for _ in assigned..n {
+            let total: f64 = rem.iter().sum();
+            let mut r = rng.gen::<f64>() * total;
+            let mut pick = rem.len() - 1;
+            for (i, &w) in rem.iter().enumerate() {
+                if r < w {
+                    pick = i;
+                    break;
+                }
+                r -= w;
+            }
+            quotas[pick] += 1;
+            rem[pick] = 0.0;
         }
-        acc += m.int_mul;
-        if r < acc {
-            return InstrClass::IntMul;
+
+        let mut classes = Vec::with_capacity(n + 1);
+        for (i, &(class, _)) in weights.iter().enumerate() {
+            classes.extend(std::iter::repeat_n(class, quotas[i]));
         }
-        acc += m.fp_alu;
-        if r < acc {
-            return InstrClass::FpAlu;
+        debug_assert_eq!(classes.len(), n);
+        // Fisher–Yates for the intra-block ordering.
+        for i in (1..classes.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            classes.swap(i, j);
         }
-        acc += m.fp_mul;
-        if r < acc {
-            return InstrClass::FpMul;
-        }
-        acc += m.fp_div;
-        if r < acc {
-            return InstrClass::FpDiv;
-        }
-        InstrClass::IntAlu
+        classes
     }
 
     /// Choose a taken-bias such that a learning predictor's expected
@@ -236,7 +274,7 @@ impl BasicBlockDict {
     /// ≈ 0.995 once learned); the rest are weakly biased (expected
     /// accuracy ≈ 0.57 for a bias uniform in [0.2, 0.8], measured
     /// against this crate's perceptron with its 256-entry aliasing).
-    fn choose_bias(rng: &mut SmallRng, target: f64, backward: bool) -> f64 {
+    fn choose_bias(rng: &mut Xoshiro256pp, target: f64, backward: bool) -> f64 {
         const STRONG: f64 = 0.995;
         const WEAK_EXP: f64 = 0.57;
         let q = ((target - WEAK_EXP) / (STRONG - WEAK_EXP)).clamp(0.0, 1.0);
@@ -247,13 +285,18 @@ impl BasicBlockDict {
             } else {
                 1.0 - STRONG
             }
+        } else if backward {
+            // Weak backward branches are still loops — keep them biased
+            // taken so loop-heavy streams never degenerate to a fair
+            // coin on aggregate.
+            rng.gen_range(0.55..0.9)
         } else {
             rng.gen_range(0.2..0.8)
         }
     }
 
     /// Pick a taken-target block index near `idx`.
-    fn pick_target(rng: &mut SmallRng, idx: usize, n: usize, backward: bool) -> u32 {
+    fn pick_target(rng: &mut Xoshiro256pp, idx: usize, n: usize, backward: bool) -> u32 {
         let span = (n / 8).clamp(1, 64) as i64;
         let dist = rng.gen_range(1..=span);
         let t = if backward {

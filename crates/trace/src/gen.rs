@@ -10,9 +10,8 @@ use crate::bbdict::{BasicBlockDict, TermKind};
 use crate::instr::{DynInstr, InstrClass, LogReg, UncondKind, NUM_LOG_REGS};
 use crate::memstream::MemStream;
 use crate::profile::BenchProfile;
+use crate::rng::Xoshiro256pp;
 use crate::stream::InstrStream;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -44,7 +43,7 @@ pub struct TraceGenerator {
     profile: &'static BenchProfile,
     dict: Arc<BasicBlockDict>,
     mem: MemStream,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
     /// Current block / slot cursor.
     block: u32,
     slot: usize,
@@ -88,7 +87,7 @@ impl TraceGenerator {
             profile,
             dict,
             mem: MemStream::new(&profile.mem, seed, seed & 0xffff),
-            rng: SmallRng::seed_from_u64(seed ^ 0x7ace_9e4e_0000_0001),
+            rng: Xoshiro256pp::seed_from_u64(seed ^ 0x7ace_9e4e_0000_0001),
             block: 0,
             slot: 0,
             seq: 0,

@@ -6,7 +6,6 @@
 //! address or branch outcome. This mirrors what SMTsim extracts from Alpha
 //! traces.
 
-use serde::{Deserialize, Serialize};
 
 /// Number of architectural (logical) registers the synthetic ISA exposes.
 ///
@@ -23,7 +22,7 @@ pub type LogReg = u8;
 /// The class determines which issue queue the instruction occupies
 /// (int / fp / load-store, 64 entries each per Fig. 1), which execution
 /// unit it needs (4 int, 3 fp, 2 ld/st) and its execution latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstrClass {
     /// Single-cycle integer ALU operation.
     IntAlu,
@@ -100,7 +99,7 @@ impl InstrClass {
 /// Sub-kind of an unconditional branch. Calls and returns drive the
 /// per-thread Return Address Stack (Fig. 1: 100 entries, replicated);
 /// plain jumps rely on the BTB alone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum UncondKind {
     /// Direct jump (also the value carried by non-branch instructions).
     #[default]
@@ -112,7 +111,7 @@ pub enum UncondKind {
 }
 
 /// One dynamic instruction as produced by the trace front-end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DynInstr {
     /// Per-thread dynamic sequence number (0, 1, 2, …). Monotonic along
     /// the *correct* path; wrong-path instructions are tagged separately

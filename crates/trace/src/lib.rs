@@ -39,10 +39,12 @@
 
 pub mod analysis;
 pub mod bbdict;
+pub mod check;
 pub mod gen;
 pub mod instr;
 pub mod memstream;
 pub mod profile;
+pub mod rng;
 pub mod serialize;
 pub mod spec;
 pub mod stream;
@@ -53,5 +55,6 @@ pub use gen::TraceGenerator;
 pub use instr::{DynInstr, InstrClass, LogReg, UncondKind, NUM_LOG_REGS};
 pub use memstream::{MemRegion, MemStream};
 pub use profile::{BenchProfile, InstrMix, MemProfile, Suite};
+pub use rng::{SplitMix64, Xoshiro256pp};
 pub use serialize::{TraceReader, TraceWriter};
 pub use stream::{InstrStream, ReplayableStream};

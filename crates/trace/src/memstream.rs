@@ -8,9 +8,7 @@
 //! contention the paper analyses.
 
 use crate::profile::MemProfile;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::Xoshiro256pp;
 use std::collections::VecDeque;
 
 /// Which working set an access was drawn from.
@@ -19,7 +17,7 @@ use std::collections::VecDeque;
 /// promise about where the access hits: a cold cache or heavy sharing can
 /// turn an `L1`-labelled access into a miss, and that is fine — the
 /// memory model decides actual hits and misses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemRegion {
     /// Small hot set, expected to hit in the private L1D.
     L1,
@@ -40,7 +38,7 @@ const DATA_BASE: u64 = 0x0100_0000_0000;
 #[derive(Debug, Clone)]
 pub struct MemStream {
     mem: MemProfile,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
     /// Base address of each region for this thread.
     bases: [u64; 3],
     /// Stride cursors per region (bytes from region base).
@@ -76,7 +74,7 @@ impl MemStream {
         let segment = DATA_BASE + thread_unique * 4 * REGION_SPACING;
         MemStream {
             mem: *mem,
-            rng: SmallRng::seed_from_u64(seed ^ (thread_unique.rotate_left(17)) ^ 0xadd7_e550),
+            rng: Xoshiro256pp::seed_from_u64(seed ^ (thread_unique.rotate_left(17)) ^ 0xadd7_e550),
             bases: [
                 segment,
                 segment + REGION_SPACING,

@@ -5,10 +5,9 @@
 //! with the fetch policy and the shared memory hierarchy. The concrete
 //! per-benchmark values live in [`crate::spec`].
 
-use serde::{Deserialize, Serialize};
 
 /// Integer vs floating-point suite (SPECint2000 vs SPECfp2000).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Suite {
     Int,
     Fp,
@@ -20,7 +19,7 @@ pub enum Suite {
 /// classes according to the suite-specific weights below. All fields are
 /// fractions of the *total* dynamic instruction count and must sum to at
 /// most 1; the remainder becomes `IntAlu`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstrMix {
     /// Fraction of loads.
     pub load: f64,
@@ -84,7 +83,7 @@ impl InstrMix {
 /// so that, on the Fig. 1 hierarchy, accesses to the first hit in L1, the
 /// second miss L1 but (when uncontended) hit the shared L2, and the third
 /// miss all the way to memory.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemProfile {
     /// Probability an access targets the L1-resident working set.
     pub l1_frac: f64,
@@ -158,7 +157,7 @@ impl MemProfile {
 }
 
 /// Full behaviour profile of one benchmark.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchProfile {
     /// SPEC2000 benchmark name (e.g. `"mcf"`).
     pub name: &'static str,

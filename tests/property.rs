@@ -1,53 +1,42 @@
-//! Property-based tests (proptest) over the full stack.
+//! Property-based tests over the full stack, on the in-repo harness
+//! (`smtsim_trace::check`).
 //!
-//! Strategy space: random benchmark assignments, policies, seeds and
-//! short intervals. Invariants: the simulator never panics, always makes
+//! Case space: random benchmark assignments, policies, seeds and short
+//! intervals. Invariants: the simulator never panics, always makes
 //! progress, respects the golden per-thread trace order, and its energy
 //! ledger stays consistent.
 
 use mflush::prelude::*;
-use proptest::prelude::*;
+use mflush::trace::check::{Cases, Gen};
 
-/// A strategy over benchmark names (the Fig. 1 legend).
-fn benchmark() -> impl Strategy<Value = &'static str> {
-    prop::sample::select(
-        spec::ALL_BENCHMARKS
-            .iter()
-            .map(|b| b.name)
-            .collect::<Vec<_>>(),
-    )
+/// A random benchmark name (the Fig. 1 legend).
+fn benchmark(g: &mut Gen) -> &'static str {
+    g.choose(&spec::ALL_BENCHMARKS).name
 }
 
-/// A strategy over fetch policies, including ablation variants.
-fn policy() -> impl Strategy<Value = PolicyKind> {
-    prop_oneof![
-        Just(PolicyKind::Icount),
-        (20u64..150).prop_map(PolicyKind::FlushSpec),
-        Just(PolicyKind::FlushNonSpec),
-        (20u64..150).prop_map(PolicyKind::StallSpec),
-        Just(PolicyKind::StallNonSpec),
-        Just(PolicyKind::Mflush),
-        Just(PolicyKind::Brcount),
-        Just(PolicyKind::L1dMissCount),
-        Just(PolicyKind::Adts),
-    ]
+/// A random fetch policy, including ablation variants.
+fn policy(g: &mut Gen) -> PolicyKind {
+    match g.u32_in(0..9) {
+        0 => PolicyKind::Icount,
+        1 => PolicyKind::FlushSpec(g.u64_in(20..150)),
+        2 => PolicyKind::FlushNonSpec,
+        3 => PolicyKind::StallSpec(g.u64_in(20..150)),
+        4 => PolicyKind::StallNonSpec,
+        5 => PolicyKind::Mflush,
+        6 => PolicyKind::Brcount,
+        7 => PolicyKind::L1dMissCount,
+        _ => PolicyKind::Adts,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        .. ProptestConfig::default()
-    })]
-
-    /// Any 2-thread mix under any policy commits in trace order,
-    /// exactly once per sequence number, and makes progress.
-    #[test]
-    fn golden_order_for_random_mixes(
-        b0 in benchmark(),
-        b1 in benchmark(),
-        p in policy(),
-        seed in 0u64..1_000_000,
-    ) {
+/// Any 2-thread mix under any policy commits in trace order, exactly
+/// once per sequence number, and makes progress.
+#[test]
+fn golden_order_for_random_mixes() {
+    Cases::new(12).run("golden_order_for_random_mixes", |g| {
+        let (b0, b1) = (benchmark(g), benchmark(g));
+        let p = policy(g);
+        let seed = g.u64_in(0..1_000_000);
         let cfg = SimConfig::for_benchmarks(&[b0, b1], p)
             .with_cycles(4_000)
             .with_seed(seed);
@@ -55,32 +44,36 @@ proptest! {
         sim.enable_commit_logs();
         sim.step(4_000);
         let r = sim.snapshot();
-        prop_assert!(r.total_committed() > 0, "no progress for {b0}+{b1} under {}", p.label());
+        assert!(
+            r.total_committed() > 0,
+            "no progress for {b0}+{b1} under {}",
+            p.label()
+        );
         for log in sim.commit_logs() {
             let mut next = [0u64; 2];
             for &(tid, seq) in log {
-                prop_assert_eq!(seq, next[tid]);
+                assert_eq!(seq, next[tid]);
                 next[tid] += 1;
             }
         }
-    }
+    });
+}
 
-    /// The energy ledger is internally consistent for any run: totals
-    /// decompose exactly into useful + flush waste + mispredict waste,
-    /// and only flushing policies produce flush waste.
-    #[test]
-    fn energy_ledger_consistency(
-        b0 in benchmark(),
-        b1 in benchmark(),
-        p in policy(),
-    ) {
+/// The energy ledger is internally consistent for any run: totals
+/// decompose exactly into useful + flush waste + mispredict waste, and
+/// only flushing policies produce flush waste.
+#[test]
+fn energy_ledger_consistency() {
+    Cases::new(12).run("energy_ledger_consistency", |g| {
+        let (b0, b1) = (benchmark(g), benchmark(g));
+        let p = policy(g);
         let cfg = SimConfig::for_benchmarks(&[b0, b1], p).with_cycles(4_000);
         let r = Simulator::build(&cfg).run();
         let e = r.energy();
         let total = e.total_energy();
         let parts = e.useful_energy() + e.wasted_energy() + e.mispredict_energy();
-        prop_assert!((total - parts).abs() < 1e-6);
-        prop_assert_eq!(e.committed(), r.total_committed());
+        assert!((total - parts).abs() < 1e-6);
+        assert_eq!(e.committed(), r.total_committed());
         match p {
             PolicyKind::Icount
             | PolicyKind::Brcount
@@ -88,38 +81,38 @@ proptest! {
             | PolicyKind::Adts
             | PolicyKind::StallSpec(_)
             | PolicyKind::StallNonSpec => {
-                prop_assert_eq!(e.flush_squashed_total(), 0, "{} never flushes", p.label());
+                assert_eq!(e.flush_squashed_total(), 0, "{} never flushes", p.label());
             }
             _ => {}
         }
-    }
+    });
+}
 
-    /// Throughput is reported consistently: IPC × cycles = commits, and
-    /// per-thread IPCs sum to the system IPC.
-    #[test]
-    fn throughput_accounting(
-        b0 in benchmark(),
-        b1 in benchmark(),
-        seed in 0u64..100_000,
-    ) {
+/// Throughput is reported consistently: IPC × cycles = commits, and
+/// per-thread IPCs sum to the system IPC.
+#[test]
+fn throughput_accounting() {
+    Cases::new(12).run("throughput_accounting", |g| {
+        let (b0, b1) = (benchmark(g), benchmark(g));
+        let seed = g.u64_in(0..100_000);
         let cfg = SimConfig::for_benchmarks(&[b0, b1], PolicyKind::Mflush)
             .with_cycles(3_000)
             .with_seed(seed);
         let r = Simulator::build(&cfg).run();
         let from_ipc = r.throughput() * r.cycles as f64;
-        prop_assert!((from_ipc - r.total_committed() as f64).abs() < 1e-6);
+        assert!((from_ipc - r.total_committed() as f64).abs() < 1e-6);
         let sum: f64 = r.per_thread_ipc().iter().sum();
-        prop_assert!((sum - r.throughput()).abs() < 1e-9);
-    }
+        assert!((sum - r.throughput()).abs() < 1e-9);
+    });
+}
 
-    /// Determinism holds for arbitrary seeds and mixes.
-    #[test]
-    fn determinism_for_random_configs(
-        b0 in benchmark(),
-        b1 in benchmark(),
-        p in policy(),
-        seed in 0u64..1_000_000,
-    ) {
+/// Determinism holds for arbitrary seeds and mixes.
+#[test]
+fn determinism_for_random_configs() {
+    Cases::new(12).run("determinism_for_random_configs", |g| {
+        let (b0, b1) = (benchmark(g), benchmark(g));
+        let p = policy(g);
+        let seed = g.u64_in(0..1_000_000);
         let run = || {
             let cfg = SimConfig::for_benchmarks(&[b0, b1], p)
                 .with_cycles(2_500)
@@ -127,6 +120,6 @@ proptest! {
             let r = Simulator::build(&cfg).run();
             (r.total_committed(), r.total_flushes())
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
 }
