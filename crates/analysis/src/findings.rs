@@ -1,0 +1,190 @@
+//! Finding and report types, plus their JSON rendering.
+//!
+//! The linter's own output must clear the same bar it enforces: the
+//! `--json` report is emitted through `smtsim_core::json::ToJson`
+//! (declaration-ordered fields, pinned float/string formatting, no
+//! insignificant whitespace) and findings are sorted by
+//! `(path, line, rule, symbol)`, so repeated runs over the same tree
+//! are byte-identical.
+
+use smtsim_core::json::{JsonObject, ToJson};
+
+/// The determinism rules (DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No `HashMap`/`HashSet` in non-test simulator code.
+    D1,
+    /// No wall-clock (`Instant::now`, `SystemTime`) outside `crates/bench`.
+    D2,
+    /// No `unwrap()`/`expect()` in cycle-loop files without a waiver.
+    D3,
+    /// Every `pub` field of a stats struct must reach its `ToJson` impl.
+    D4,
+    /// No `#[allow(clippy::...)]` without a waiver.
+    D5,
+    /// No floating-point cycle/counter fields or accumulation.
+    D6,
+}
+
+/// All rules, in id order.
+pub const ALL_RULES: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6];
+
+impl Rule {
+    /// Stable id used in findings, waivers and the baseline file.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::D5 => "D5",
+            Rule::D6 => "D6",
+        }
+    }
+
+    /// One-line description (for `--list-rules` and docs).
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Rule::D1 => "no HashMap/HashSet in non-test simulator code (iteration order is per-process random)",
+            Rule::D2 => "no wall-clock reads (Instant::now, SystemTime) outside crates/bench",
+            Rule::D3 => "no unwrap()/expect() in cycle-loop files without an inline waiver",
+            Rule::D4 => "every pub field of a stats struct must be serialized by its ToJson impl",
+            Rule::D5 => "no #[allow(clippy::...)] without an inline waiver",
+            Rule::D6 => "no floating-point cycle/counter struct fields or float accumulation into counters",
+        }
+    }
+
+    /// Parse a rule id (`"D1"`).
+    pub fn parse(s: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == s)
+    }
+}
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Path relative to the lint root, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The offending symbol (`HashMap`, `unwrap`, a field name, …);
+    /// part of the baseline fingerprint, so it must not contain line
+    /// numbers or other churn-prone detail.
+    pub symbol: String,
+    pub message: String,
+    /// Suppressed by an inline waiver or a baseline entry.
+    pub waived: bool,
+}
+
+impl Finding {
+    /// Baseline fingerprint: stable across unrelated edits to the file.
+    pub fn fingerprint(&self) -> String {
+        format!("{} {} {}", self.rule.id(), self.path, self.symbol)
+    }
+
+    /// Human-readable one-liner (the non-JSON output format).
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}: {} [{}]",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.message,
+            self.symbol
+        )
+    }
+}
+
+impl ToJson for Finding {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("rule", &self.rule.id())
+            .field("path", &self.path)
+            .field("line", &(self.line as u64))
+            .field("symbol", &self.symbol)
+            .field("message", &self.message)
+            .field("waived", &self.waived);
+        o.end();
+    }
+}
+
+/// The complete result of one lint run.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: u64,
+    /// Every finding, waived ones included, sorted.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Sort findings into the pinned report order.
+    pub fn normalize(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule, &a.symbol).cmp(&(&b.path, b.line, b.rule, &b.symbol)));
+    }
+
+    /// Findings not suppressed by a waiver or baseline entry.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    pub fn unwaived_count(&self) -> u64 {
+        self.unwaived().count() as u64
+    }
+
+    pub fn waived_count(&self) -> u64 {
+        self.findings.iter().filter(|f| f.waived).count() as u64
+    }
+}
+
+impl ToJson for LintReport {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("version", &1u64)
+            .field("files_scanned", &self.files_scanned)
+            .field("total", &(self.findings.len() as u64))
+            .field("waived", &self.waived_count())
+            .field("unwaived", &self.unwaived_count())
+            .field("findings", &self.findings);
+        o.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_roundtrip() {
+        for r in ALL_RULES {
+            assert_eq!(Rule::parse(r.id()), Some(r));
+        }
+        assert_eq!(Rule::parse("D9"), None);
+    }
+
+    #[test]
+    fn report_json_is_sorted_and_stable() {
+        let f = |path: &str, line, rule| Finding {
+            rule,
+            path: path.into(),
+            line,
+            symbol: "x".into(),
+            message: "m".into(),
+            waived: false,
+        };
+        let mut r = LintReport {
+            files_scanned: 2,
+            findings: vec![f("b.rs", 3, Rule::D1), f("a.rs", 9, Rule::D2), f("a.rs", 1, Rule::D5)],
+        };
+        r.normalize();
+        let j1 = r.to_json();
+        r.normalize();
+        assert_eq!(j1, r.to_json());
+        let pa = j1.find("a.rs").unwrap();
+        let pb = j1.find("b.rs").unwrap();
+        assert!(pa < pb);
+        assert!(j1.starts_with("{\"version\":1,\"files_scanned\":2,"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: crates/bench is the sanctioned wall-clock user — no D2
+//! finding for this file.
+
+pub fn measure() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

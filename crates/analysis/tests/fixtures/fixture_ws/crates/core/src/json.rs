@@ -1,0 +1,11 @@
+//! Fixture: the serialisation side of the D4 check.
+
+impl ToJson for FixtureStats {
+    fn write_json(&self, out: &mut String) {
+        let mut o = JsonObject::begin(out);
+        o.field("committed", &self.committed)
+            .field("flushes", &self.flushes);
+        // `dropped_tally` is missing on purpose; `scratch` is private.
+        o.end();
+    }
+}

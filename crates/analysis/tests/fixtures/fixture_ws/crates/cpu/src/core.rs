@@ -1,0 +1,31 @@
+//! Fixture: a pretend cycle-loop file. Every construct here is chosen
+//! to pin one linter behaviour in the golden report.
+
+pub struct FixtureCore {
+    pub total_cycles: u64,
+    /// D6 (declaration): a counter must not be floating point.
+    pub busy_cycles: f64,
+}
+
+impl FixtureCore {
+    pub fn step(&mut self, q: &mut Vec<u64>) -> u64 {
+        // D3: bare unwrap in a hot file.
+        let head = q.pop().unwrap();
+        // Waived D3: suppressed, still counted as a waived finding.
+        // lint: allow(D3) -- fixture waiver: q is non-empty by construction
+        let next = q.last().unwrap();
+        // D6 (accumulation): float flows into a counter.
+        self.busy_cycles += head as f64 * 0.5;
+        head + next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        // No D3 here: test regions are exempt.
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: a stats struct whose `ToJson` impl (in
+//! `crates/core/src/json.rs`) forgets one field — the D4 case.
+
+pub struct FixtureStats {
+    pub committed: u64,
+    pub flushes: u64,
+    /// Never serialized: D4 must flag this.
+    pub dropped_tally: u64,
+    /// Private fields are exempt from D4.
+    scratch: u64,
+}
+
+impl FixtureStats {
+    pub fn scratch(&self) -> u64 {
+        self.scratch
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: D1/D2/D5 cases plus the literal/comment camouflage the
+//! lexer must see through.
+
+// D1: hash collections in simulator code.
+use std::collections::HashMap;
+
+// D5: clippy allow without a waiver.
+#[allow(clippy::needless_range_loop)]
+pub fn touch(m: &mut HashMap<u64, u64>) {
+    // D2: wall-clock type in simulator code.
+    let _stamp = std::time::SystemTime::now();
+    m.insert(1, 2);
+}
+
+// None of these may produce findings: the names only occur inside
+// comments and literals. /* Instant::now() in a /* nested */ comment */
+pub fn camouflage() -> (&'static str, &'static str, char) {
+    let a = "HashMap in a plain string";
+    let b = r#"SystemTime in a raw "quoted" string"#;
+    let c = 'x'; // b'y' and 'a' vs &'a str disambiguation live in lexer tests
+    (a, b, c)
+}

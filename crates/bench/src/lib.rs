@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # smtsim-bench — figure and table regeneration for the MFLUSH paper
 //!
 //! One function per table/figure of the paper's evaluation. Each

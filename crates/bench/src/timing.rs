@@ -52,6 +52,8 @@ impl Measurement {
 /// Time `f` for `iters` iterations (after one untimed warm-up call).
 /// `sim_cycles_per_iter` is the scenario's simulated-cycle budget per
 /// iteration, or 0 when not applicable.
+// lint: allow(D5) -- crates/bench is the one sanctioned wall-clock user; clippy.toml bans Instant::now everywhere else
+#[allow(clippy::disallowed_methods)]
 pub fn measure(
     name: &str,
     iters: u32,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # smtsim-core — CMP+SMT simulator driver for the MFLUSH reproduction
 //!
 //! Assembles the full machine of the paper: `N` two-context SMT cores

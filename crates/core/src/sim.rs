@@ -25,6 +25,7 @@ impl Simulator {
     /// Build the machine for an experiment. Panics on an invalid
     /// configuration (configurations are validated, not recovered).
     pub fn build(cfg: &SimConfig) -> Self {
+        // lint: allow(D3) -- construction-time validation, outside the cycle loop; configs fail fast
         cfg.validate().expect("invalid SimConfig");
         let env = cfg.policy_env();
         let contexts = cfg.core.contexts as usize;
@@ -35,6 +36,7 @@ impl Simulator {
                     .map(|slot| {
                         let global = core_id as usize * contexts + slot;
                         let profile = spec::benchmark_by_name(&cfg.benchmarks[global])
+                            // lint: allow(D3) -- benchmark names were checked by cfg.validate() above
                             .expect("validated benchmark");
                         ThreadProgram::from_generator(TraceGenerator::new(
                             profile,

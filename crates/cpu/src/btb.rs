@@ -67,12 +67,14 @@ impl Btb {
             set.push((pc, target, stamp));
             return;
         }
+        // `unwrap_or(0)` never fires: this branch requires a full set,
+        // and ways ≥ 1.
         let lru = set
             .iter()
             .enumerate()
             .min_by_key(|(_, e)| e.2)
             .map(|(i, _)| i)
-            .unwrap();
+            .unwrap_or(0);
         set[lru] = (pc, target, stamp);
     }
 

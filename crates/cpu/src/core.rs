@@ -83,6 +83,7 @@ impl SmtCore {
         policy: Box<dyn FetchPolicy>,
         programs: Vec<ThreadProgram>,
     ) -> Self {
+        // lint: allow(D3) -- construction-time validation, outside the cycle loop; configs fail fast
         cfg.validate().expect("invalid CoreConfig");
         assert_eq!(
             programs.len(),
@@ -279,7 +280,9 @@ impl SmtCore {
             if done_at > now {
                 break;
             }
-            let Reverse((_, tid, token)) = self.exec_heap.pop().unwrap();
+            let Some(Reverse((_, tid, token))) = self.exec_heap.pop() else {
+                break; // unreachable: peek above returned Some
+            };
             let (resolve_mispredict, load_complete, is_cond_branch, dst) =
                 match self.threads[tid].rob.find_mut(token) {
                     Some(e) if matches!(e.state, InstrState::Executing { .. }) => {
@@ -341,7 +344,9 @@ impl SmtCore {
                 if is_store && self.store_queue.len() >= self.cfg.store_buffer as usize {
                     break; // store buffer backpressure
                 }
-                let e = self.threads[tid].rob.pop_head().unwrap();
+                let Some(e) = self.threads[tid].rob.pop_head() else {
+                    break; // unreachable: head() above returned Some
+                };
                 if let Some(log) = &mut self.commit_log {
                     log.push((tid, e.instr.seq));
                 }
@@ -429,7 +434,7 @@ impl SmtCore {
     /// (MSHR full).
     fn try_issue_one(&mut self, tid: usize, token: u64, now: u64, mem: &mut MemorySystem) -> bool {
         let (class, addr, queue, addr_pc) = {
-            let e = self.threads[tid].rob.find_mut(token).expect("candidate");
+            let e = self.threads[tid].rob.tracked_mut(token);
             (e.instr.class, e.instr.mem_addr, e.queue, e.instr.pc)
         };
         let wrong_path = self.threads[tid]
@@ -446,7 +451,7 @@ impl SmtCore {
                 // would fabricate MSHR/bank traffic at made-up
                 // addresses).
                 if wrong_path {
-                    let e = self.threads[tid].rob.find_mut(token).unwrap();
+                    let e = self.threads[tid].rob.tracked_mut(token);
                     e.state = InstrState::Executing { done_at: now + 1 };
                     self.exec_heap.push(Reverse((now + 1, tid, token)));
                     self.iq_used[queue.index()] -= 1;
@@ -457,7 +462,7 @@ impl SmtCore {
                 // the same thread to the same word supplies the data
                 // directly (no cache access).
                 if self.store_forward_hit(tid, token, addr) {
-                    let e = self.threads[tid].rob.find_mut(token).unwrap();
+                    let e = self.threads[tid].rob.tracked_mut(token);
                     e.state = InstrState::Executing { done_at: now + 1 };
                     e.load_tracked = false;
                     self.exec_heap.push(Reverse((now + 1, tid, token)));
@@ -468,7 +473,7 @@ impl SmtCore {
                 }
                 match mem.access(self.core_id, AccessKind::Load, addr, now) {
                     AccessResult::L1Hit { ready_at, .. } => {
-                        let e = self.threads[tid].rob.find_mut(token).unwrap();
+                        let e = self.threads[tid].rob.tracked_mut(token);
                         e.state = InstrState::Executing { done_at: ready_at };
                         e.load_tracked = !wrong_path;
                         self.exec_heap.push(Reverse((ready_at, tid, token)));
@@ -479,7 +484,7 @@ impl SmtCore {
                     }
                     AccessResult::Miss { req, .. } => {
                         let bank = bank_of(addr, mem.config().l2_banks);
-                        let e = self.threads[tid].rob.find_mut(token).unwrap();
+                        let e = self.threads[tid].rob.tracked_mut(token);
                         e.state = InstrState::WaitingMem { req };
                         e.load_tracked = !wrong_path;
                         debug_assert!(!self.req_map.iter().any(|(r, _)| *r == req), "duplicate req id {req} in req_map");
@@ -500,13 +505,13 @@ impl SmtCore {
             InstrClass::Store => {
                 // Address generation only; memory access happens at
                 // commit via the store queue.
-                let e = self.threads[tid].rob.find_mut(token).unwrap();
+                let e = self.threads[tid].rob.tracked_mut(token);
                 e.state = InstrState::Executing { done_at: now + 1 };
                 self.exec_heap.push(Reverse((now + 1, tid, token)));
             }
             _ => {
                 let done = now + class.exec_latency() as u64;
-                let e = self.threads[tid].rob.find_mut(token).unwrap();
+                let e = self.threads[tid].rob.tracked_mut(token);
                 e.state = InstrState::Executing { done_at: done };
                 self.exec_heap.push(Reverse((done, tid, token)));
             }
@@ -937,14 +942,16 @@ impl SmtCore {
         if self.wp_buffers[tid].is_empty() {
             self.refill_wp(tid);
         }
-        *self.wp_buffers[tid].front().unwrap()
+        // lint: allow(D3) -- refill_wp synthesises a non-empty run before this read
+        *self.wp_buffers[tid].front().expect("refilled wp buffer")
     }
 
     fn next_wrong_path(&mut self, tid: usize) -> DynInstr {
         if self.wp_buffers[tid].is_empty() {
             self.refill_wp(tid);
         }
-        let i = self.wp_buffers[tid].pop_front().unwrap();
+        // lint: allow(D3) -- refill_wp synthesises a non-empty run before this pop
+        let i = self.wp_buffers[tid].pop_front().expect("refilled wp buffer");
         if let Some(wp) = &mut self.threads[tid].wrong_path {
             // Treat junk conditional branches as not-taken.
             wp.cursor = if i.class == InstrClass::BranchUncond {
@@ -960,6 +967,7 @@ impl SmtCore {
         let cursor = self.threads[tid]
             .wrong_path
             .as_ref()
+            // lint: allow(D3) -- only called while the thread is in wrong-path mode (callers check)
             .expect("wrong-path mode")
             .cursor;
         let dict = Arc::clone(&self.threads[tid].dict);

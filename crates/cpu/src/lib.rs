@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # smtsim-cpu — the SMT out-of-order core model
 //!
 //! A trace-driven reimplementation of SMTsim's back-end with the paper's

@@ -144,11 +144,9 @@ impl Rob {
     /// **newest first** (the order rename rollback requires).
     pub fn squash_younger(&mut self, keep_token: u64) -> Vec<RobEntry> {
         let mut removed = Vec::new();
-        while let Some(back) = self.entries.back() {
-            if back.token > keep_token {
-                removed.push(self.entries.pop_back().unwrap());
-            } else {
-                break;
+        while self.entries.back().is_some_and(|b| b.token > keep_token) {
+            if let Some(e) = self.entries.pop_back() {
+                removed.push(e);
             }
         }
         removed
@@ -167,6 +165,17 @@ impl Rob {
     /// Find an entry by token.
     pub fn find_mut(&mut self, token: u64) -> Option<&mut RobEntry> {
         self.entries.iter_mut().find(|e| e.token == token)
+    }
+
+    /// [`find_mut`](Self::find_mut) for tokens the core knows are
+    /// resident. Invariant: every token parked in the issue queues, the
+    /// exec heap or `req_map` is removed from those structures by the
+    /// same squash that removes its ROB entry, so a tracked token
+    /// always resolves. Centralising the panic here keeps the cycle
+    /// loop's call sites free of bare `unwrap()`s (lint rule D3).
+    pub fn tracked_mut(&mut self, token: u64) -> &mut RobEntry {
+        // lint: allow(D3) -- documented invariant: tracked tokens are evicted from side structures before their ROB entry
+        self.find_mut(token).expect("tracked token resident in ROB")
     }
 }
 

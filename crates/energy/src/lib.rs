@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # smtsim-energy — the paper's energy model (Figs. 9, 10, 11)
 //!
 //! The FLUSH mechanism squashes instructions and refetches them later, so

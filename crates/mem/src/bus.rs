@@ -93,11 +93,9 @@ impl<T> SharedBus<T> {
         // Deliveries (in_flight is ordered by deliver_at because latency
         // is constant and grants are appended in time order).
         let mut out = Vec::new();
-        while let Some(&(t, _)) = self.in_flight.front() {
-            if t <= now {
-                out.push(self.in_flight.pop_front().unwrap().1);
-            } else {
-                break;
+        while self.in_flight.front().is_some_and(|&(t, _)| t <= now) {
+            if let Some((_, payload)) = self.in_flight.pop_front() {
+                out.push(payload);
             }
         }
         out

@@ -85,6 +85,7 @@ impl SetAssocCache {
     /// Build an empty cache. Panics on invalid geometry (construction is
     /// configuration time, not simulation time).
     pub fn new(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        // lint: allow(D3) -- construction-time validation, outside the cycle loop; configs fail fast
         geometry.validate().expect("invalid cache geometry");
         let sets = geometry.sets();
         let ways = geometry.ways as usize;
@@ -190,12 +191,14 @@ impl SetAssocCache {
                 i
             } else {
                 match self.policy {
+                    // `unwrap_or(0)` never fires: a set has ≥ 1 way by
+                    // geometry validation, and way 0 is a sound victim.
                     ReplacementPolicy::Lru => slice
                         .iter()
                         .enumerate()
                         .min_by_key(|(_, l)| l.last_use)
                         .map(|(i, _)| i)
-                        .unwrap(),
+                        .unwrap_or(0),
                     ReplacementPolicy::Random => {
                         (self.xorshift() % self.ways as u64) as usize
                     }

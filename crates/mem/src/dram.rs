@@ -48,9 +48,9 @@ impl<T> Dram<T> {
     /// Advance to cycle `now`; returns payloads whose access completed.
     pub fn tick(&mut self, now: u64) -> Vec<T> {
         let mut done = Vec::new();
-        while let Some(&(t, _)) = self.in_service.front() {
-            if t <= now {
-                done.push(self.in_service.pop_front().unwrap().1);
+        while self.in_service.front().is_some_and(|&(t, _)| t <= now) {
+            if let Some((_, payload)) = self.in_service.pop_front() {
+                done.push(payload);
                 self.completed += 1;
                 // Promote a waiter into the freed slot.
                 if let Some(w) = self.waiting.pop_front() {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # smtsim-mem — memory hierarchy for the MFLUSH reproduction
 //!
 //! Implements the Fig. 1 cache hierarchy of the paper:

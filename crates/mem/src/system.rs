@@ -360,6 +360,7 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Build the hierarchy. Panics on invalid configuration.
     pub fn new(cfg: MemConfig) -> Self {
+        // lint: allow(D3) -- construction-time validation, outside the cycle loop; configs fail fast
         cfg.validate().expect("invalid MemConfig");
         let bank_geom = CacheGeometry {
             bytes: cfg.l2_bytes / (cfg.l2_clusters as u64 * cfg.l2_banks as u64),
@@ -596,7 +597,10 @@ impl MemorySystem {
             if r.at > now {
                 break;
             }
-            let Reverse(r) = self.release_heap.pop().unwrap();
+            let Some(Reverse(r)) = self.release_heap.pop() else {
+                break; // unreachable: peek above returned Some
+            };
+            // lint: allow(D3) -- heap entries and release slots are filled/freed in lockstep
             let item = self.release_items[r.item_idx].take().expect("release slot");
             self.release_free.push(r.item_idx);
             let cluster = self.cfg.cluster_of(r.core) as usize;

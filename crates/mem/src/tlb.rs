@@ -44,13 +44,15 @@ impl Tlb {
         }
         self.misses += 1;
         if self.entries.len() == self.capacity {
+            // `unwrap_or(0)` never fires: capacity > 0, and the branch
+            // is only taken when the TLB is full.
             let lru = self
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.1)
                 .map(|(i, _)| i)
-                .unwrap();
+                .unwrap_or(0);
             self.entries.swap_remove(lru);
         }
         self.entries.push((page, self.stamp));

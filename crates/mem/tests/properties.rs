@@ -4,7 +4,7 @@
 use smtsim_mem::util::Slab;
 use smtsim_mem::{CacheGeometry, LatencyHistogram, ReplacementPolicy, SetAssocCache, Tlb};
 use smtsim_trace::check::Cases;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The slab behaves like a map: inserted values are retrievable until
 /// removed, never after; len always matches the model.
@@ -13,7 +13,7 @@ fn slab_matches_hashmap_model() {
     Cases::new(48).run("slab_matches_hashmap_model", |g| {
         let ops = g.vec_of(1..400, |g| (g.bool(), g.u32_in(0..0x1_0000) as u16));
         let mut slab: Slab<u16> = Slab::new();
-        let mut model: HashMap<u32, u16> = HashMap::new();
+        let mut model: BTreeMap<u32, u16> = BTreeMap::new();
         let mut live: Vec<u32> = Vec::new();
         for (insert, v) in ops {
             if insert || live.is_empty() {
@@ -121,7 +121,7 @@ fn cache_capacity_and_invalidate() {
             line_bytes: 64,
         };
         let mut cache = SetAssocCache::new(geom, ReplacementPolicy::Lru);
-        let mut filled: HashSet<u64> = HashSet::new();
+        let mut filled: BTreeSet<u64> = BTreeSet::new();
         for &a in &addrs {
             cache.fill(a, false);
             filled.insert(a & !63);

@@ -5,7 +5,7 @@
 
 use smtsim_mem::{AccessKind, AccessResult, MemConfig, MemorySystem, ReqId};
 use smtsim_trace::rng::Xoshiro256pp;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Worst-case legitimate latency: TLB walk + L1 + bus queue + bank
 /// queue + DRAM, with generous queueing margin.
@@ -14,7 +14,7 @@ const DEADLINE: u64 = 4_000;
 fn stress(cores: u32, cycles: u64, seed: u64, addr_pool: u64) {
     let mut m = MemorySystem::new(MemConfig::paper(cores));
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    let mut outstanding: HashMap<(u32, ReqId), u64> = HashMap::new();
+    let mut outstanding: BTreeMap<(u32, ReqId), u64> = BTreeMap::new();
     for now in 0..cycles {
         m.tick(now);
         for core in 0..cores {

@@ -28,7 +28,8 @@ impl FetchPolicy for BrcountPolicy {
         out.clear();
         out.extend(snaps.iter().map(|s| s.tid));
         out.sort_by_key(|&tid| {
-            let s = snaps.iter().find(|s| s.tid == tid).unwrap();
+            // lint: allow(D3) -- out was populated from snaps two lines up, every tid resolves
+            let s = snaps.iter().find(|s| s.tid == tid).expect("tid in snaps");
             (s.branches_in_flight, tid as u32)
         });
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # smtsim-policy — SMT instruction-fetch policies
 //!
 //! The paper frames every long-latency-aware fetch policy as a

@@ -95,12 +95,14 @@ impl McRegFile {
         if q.is_empty() {
             return self.default_prediction as u64;
         }
+        // The `unwrap_or` defaults never fire: the empty case returned
+        // the default prediction above.
         match self.cfg.reducer {
-            McRegReducer::Last => *q.back().unwrap() as u64,
+            McRegReducer::Last => q.back().copied().unwrap_or(self.default_prediction) as u64,
             McRegReducer::Mean => {
                 q.iter().map(|&v| v as u64).sum::<u64>() / q.len() as u64
             }
-            McRegReducer::Max => *q.iter().max().unwrap() as u64,
+            McRegReducer::Max => q.iter().max().copied().unwrap_or(self.default_prediction) as u64,
         }
     }
 

@@ -127,6 +127,7 @@ pub fn icount_order(snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {
     out.clear();
     out.extend(snaps.iter().map(|s| s.tid));
     out.sort_by_key(|&tid| {
+        // lint: allow(D3) -- out was populated from snaps two lines up, every tid resolves
         let s = snaps.iter().find(|s| s.tid == tid).expect("tid in snaps");
         (s.in_frontend + s.in_queues, tid as u32)
     });

@@ -7,7 +7,9 @@
 
 use crate::instr::{DynInstr, InstrClass, UncondKind};
 use crate::stream::InstrStream;
-use std::collections::HashSet;
+// BTreeSet, not HashSet: footprint counting must not depend on the
+// per-process hasher seed (determinism lint rule D1).
+use std::collections::BTreeSet;
 
 /// Aggregate statistics of an instruction stream.
 #[derive(Debug, Clone, Default)]
@@ -96,9 +98,9 @@ impl TraceStats {
 /// Analyse `n` instructions from a stream.
 pub fn analyze<S: InstrStream>(stream: &mut S, n: u64) -> TraceStats {
     let mut s = TraceStats::default();
-    let mut data_lines = HashSet::new();
-    let mut code_lines = HashSet::new();
-    let mut data_pages = HashSet::new();
+    let mut data_lines = BTreeSet::new();
+    let mut code_lines = BTreeSet::new();
+    let mut data_pages = BTreeSet::new();
     // (logical reg, seq) of most recent writers.
     let mut writers: Vec<(u8, u64)> = Vec::new();
     for _ in 0..n {

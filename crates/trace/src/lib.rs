@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # smtsim-trace — synthetic instruction traces for the MFLUSH reproduction
 //!
 //! The original paper drives an SMTsim-derived simulator with traces of the

@@ -27,6 +27,7 @@ const KB: u64 = 1 << 10;
 const MB: u64 = 1 << 20;
 
 /// Helper to keep the table readable.
+// lint: allow(D5) -- one positional argument per column of the paper's profile table
 #[allow(clippy::too_many_arguments)]
 const fn prof(
     name: &'static str,
@@ -78,6 +79,7 @@ const fn fp_mix(load: f64, store: f64, bc: f64, fa: f64, fm: f64, fd: f64) -> In
     }
 }
 
+// lint: allow(D5) -- one positional argument per column of the paper's profile table
 #[allow(clippy::too_many_arguments)]
 const fn mem(
     l1: f64,
@@ -97,6 +99,7 @@ const fn mem(
 /// Like [`mem`] but with an explicit stride width: FP array codes with
 /// large leading dimensions stride by multiple cache lines, pinning
 /// their L2 traffic onto a single bank (the paper's Fig. 7 hotspot).
+// lint: allow(D5) -- one positional argument per column of the paper's profile table
 #[allow(clippy::too_many_arguments)]
 const fn mem_strided(
     l1: f64,
@@ -312,7 +315,7 @@ pub fn memory_bound() -> impl Iterator<Item = &'static BenchProfile> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn all_profiles_validate() {
@@ -323,7 +326,7 @@ mod tests {
 
     #[test]
     fn keys_are_unique_and_cover_a_to_z() {
-        let keys: HashSet<char> = ALL_BENCHMARKS.iter().map(|b| b.key).collect();
+        let keys: BTreeSet<char> = ALL_BENCHMARKS.iter().map(|b| b.key).collect();
         assert_eq!(keys.len(), 26);
         for c in 'a'..='z' {
             assert!(keys.contains(&c), "missing key {c}");
@@ -332,7 +335,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: HashSet<&str> = ALL_BENCHMARKS.iter().map(|b| b.name).collect();
+        let names: BTreeSet<&str> = ALL_BENCHMARKS.iter().map(|b| b.name).collect();
         assert_eq!(names.len(), 26);
     }
 
@@ -394,7 +397,7 @@ mod tests {
 
     #[test]
     fn memory_bound_set_contains_the_usual_suspects() {
-        let names: HashSet<&str> = memory_bound().map(|b| b.name).collect();
+        let names: BTreeSet<&str> = memory_bound().map(|b| b.name).collect();
         for n in ["mcf", "art", "swim", "lucas", "ammp", "equake", "applu"] {
             assert!(names.contains(n), "{n} should be memory-bound");
         }

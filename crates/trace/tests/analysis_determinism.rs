@@ -1,0 +1,66 @@
+//! Cross-process determinism of the trace analysis.
+//!
+//! `analyze` counts distinct lines/pages with set collections; with a
+//! `HashSet` those sets would still *count* correctly, but any future
+//! code that iterates them (or any switch to capacity-dependent
+//! behaviour) would inherit the per-process `RandomState` hasher seed.
+//! Rule D1 bans hash collections statically; this test pins the
+//! behaviour dynamically: the same analysis, run in **two separate
+//! child processes** (hence two different hasher seeds, ASLR layouts,
+//! allocation orders), must print byte-identical reports.
+
+use smtsim_trace::analysis::{analyze, report};
+use smtsim_trace::gen::TraceGenerator;
+use smtsim_trace::spec;
+use std::process::Command;
+
+const CHILD_ENV: &str = "SMTSIM_ANALYSIS_DETERMINISM_CHILD";
+const MARK: &str = "ANALYSIS|";
+
+#[test]
+fn analysis_report_is_identical_across_processes() {
+    if std::env::var_os(CHILD_ENV).is_some() {
+        // Child mode: run the analysis and print it between markers.
+        for (bench, seed, n) in [("mcf", 4242u64, 30_000u64), ("swim", 7, 20_000)] {
+            let profile = spec::benchmark_by_name(bench).expect("known benchmark");
+            let mut g = TraceGenerator::new(profile, seed);
+            let stats = analyze(&mut g, n);
+            for line in report(&stats).lines() {
+                println!("{MARK}{bench}/{seed}: {line}");
+            }
+            println!(
+                "{MARK}{bench}/{seed}: footprint_raw lines={} pages={} code={}",
+                stats.data_lines, stats.data_pages, stats.code_lines
+            );
+        }
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let run = || {
+        let out = Command::new(&exe)
+            .args([
+                "analysis_report_is_identical_across_processes",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(CHILD_ENV, "1")
+            .output()
+            .expect("spawn child test process");
+        assert!(out.status.success(), "child failed: {out:?}");
+        let stdout = String::from_utf8(out.stdout).expect("utf8 child output");
+        stdout
+            .lines()
+            .filter(|l| l.starts_with(MARK))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let a = run();
+    let b = run();
+    assert!(
+        a.contains("instructions"),
+        "child produced no analysis report:\n{a}"
+    );
+    assert_eq!(a, b, "trace-analysis output differs across processes");
+}

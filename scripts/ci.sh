@@ -15,6 +15,13 @@ cargo build --release --offline --workspace
 echo "== test (workspace, offline) =="
 cargo test -q --offline --workspace
 
+echo "== determinism lint (smtsim-lint) =="
+# Gate 3: the in-tree determinism linter (DESIGN.md §10). Exits nonzero
+# on any unwaived finding; the baseline file grandfathers nothing today
+# (it is kept empty on purpose).
+cargo run --release --offline -q -p smtsim-analysis --bin smtsim-lint -- \
+    --baseline scripts/lint-baseline.txt
+
 echo "== clippy (-D warnings) =="
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --offline --workspace --all-targets -- -D warnings

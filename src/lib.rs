@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mflush — facade crate for the MFLUSH (ICPP 2008) reproduction
 //!
 //! Re-exports the whole simulator stack under one roof so that examples,
