@@ -24,10 +24,20 @@ pub enum Rule {
     D5,
     /// No floating-point cycle/counter fields or accumulation.
     D6,
+    /// No `catch_unwind` outside the sweep's panic-isolation boundary.
+    D7,
 }
 
 /// All rules, in id order.
-pub const ALL_RULES: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5, Rule::D6];
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::D1,
+    Rule::D2,
+    Rule::D3,
+    Rule::D4,
+    Rule::D5,
+    Rule::D6,
+    Rule::D7,
+];
 
 impl Rule {
     /// Stable id used in findings, waivers and the baseline file.
@@ -39,6 +49,7 @@ impl Rule {
             Rule::D4 => "D4",
             Rule::D5 => "D5",
             Rule::D6 => "D6",
+            Rule::D7 => "D7",
         }
     }
 
@@ -51,6 +62,7 @@ impl Rule {
             Rule::D4 => "every pub field of a stats struct must be serialized by its ToJson impl",
             Rule::D5 => "no #[allow(clippy::...)] without an inline waiver",
             Rule::D6 => "no floating-point cycle/counter struct fields or float accumulation into counters",
+            Rule::D7 => "no catch_unwind outside crates/core/src/sweep.rs (panic isolation has one blessed boundary)",
         }
     }
 

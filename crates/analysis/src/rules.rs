@@ -1,4 +1,4 @@
-//! The per-file determinism rules (D1, D2, D3, D5, D6).
+//! The per-file determinism rules (D1, D2, D3, D5, D6, D7).
 //!
 //! Each rule is a pass over one file's token stream. Rules never look
 //! inside comments or string literals (the lexer already separated
@@ -195,8 +195,14 @@ fn is_counter_name(name: &str) -> bool {
         .any(|s| name.ends_with(s))
 }
 
-/// Run D1, D2, D3, D5 and D6 over one file. Waivers are applied later
-/// by the engine; this emits raw findings.
+/// The single file allowed to call `catch_unwind`: the sweep's job
+/// isolation boundary. Anywhere else, a swallowed panic hides a bug
+/// from the determinism replay tests — D7's scope is absolute (test
+/// code included; tests assert panics with `#[should_panic]` instead).
+const PANIC_BOUNDARY_FILE: &str = "crates/core/src/sweep.rs";
+
+/// Run D1, D2, D3, D5, D6 and D7 over one file. Waivers are applied
+/// later by the engine; this emits raw findings.
 pub fn check_file(rel: &str, toks: &[Tok<'_>], out: &mut Vec<Finding>) {
     let class = FileClass::of(rel);
     let regions = test_regions(toks);
@@ -315,6 +321,24 @@ pub fn check_file(rel: &str, toks: &[Tok<'_>], out: &mut Vec<Finding>) {
                     format!("#[allow(clippy::{lint})] silences a defense-in-depth lint; state why with a waiver"),
                 );
             }
+        }
+
+        // D7: catch_unwind anywhere but the sweep's isolation boundary.
+        // Deliberately NOT test-exempt: a test that swallows panics can
+        // mask nondeterminism; assert with #[should_panic] instead.
+        if rel != PANIC_BOUNDARY_FILE
+            && t.kind == TokKind::Ident
+            && t.text == "catch_unwind"
+        {
+            push(
+                out,
+                Rule::D7,
+                t,
+                "catch_unwind",
+                format!(
+                    "catch_unwind outside {PANIC_BOUNDARY_FILE}: panic isolation has one blessed boundary (the sweep runner); swallowing panics elsewhere hides replay-breaking bugs"
+                ),
+            );
         }
 
         // D6 (accumulation form): `.counter += <float stuff>;`
@@ -496,6 +520,19 @@ mod tests {
         assert_eq!(f[0].symbol, "too_many_arguments");
         // Non-clippy allows are rustc business, not ours.
         assert!(findings("crates/trace/src/spec.rs", "#[allow(dead_code)]\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn d7_flags_catch_unwind_everywhere_but_the_sweep() {
+        let src = "use std::panic::catch_unwind;\nfn f() { let _ = catch_unwind(|| {}); }\n";
+        let f = findings("crates/core/src/sim.rs", src);
+        assert_eq!(f.len(), 2, "the use and the call both flag");
+        assert!(f.iter().all(|f| f.rule == Rule::D7));
+        // Not even test regions are exempt...
+        let in_test = "#[test]\nfn t() { let _ = std::panic::catch_unwind(|| {}); }\n";
+        assert_eq!(findings("tests/property.rs", in_test).len(), 1);
+        // ...but the sweep runner is the blessed boundary.
+        assert!(findings("crates/core/src/sweep.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! Fixture: the one blessed `catch_unwind` site. D7 must stay silent
+//! here — this path (crates/core/src/sweep.rs) is the sweep runner's
+//! panic-isolation boundary.
+
+use std::panic::catch_unwind;
+
+pub fn isolate(job: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    catch_unwind(job).is_ok()
+}

@@ -12,8 +12,14 @@ pub fn touch(m: &mut HashMap<u64, u64>) {
     m.insert(1, 2);
 }
 
+// D7: panic isolation outside the blessed sweep boundary.
+pub fn swallow() -> bool {
+    std::panic::catch_unwind(|| {}).is_ok()
+}
+
 // None of these may produce findings: the names only occur inside
 // comments and literals. /* Instant::now() in a /* nested */ comment */
+// catch_unwind in a comment is fine too.
 pub fn camouflage() -> (&'static str, &'static str, char) {
     let a = "HashMap in a plain string";
     let b = r#"SystemTime in a raw "quoted" string"#;

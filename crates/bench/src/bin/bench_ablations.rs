@@ -30,7 +30,9 @@ const REPORT_CYCLES: u64 = 40_000;
 fn run(workload: &str, policy: PolicyKind, cycles: u64) -> f64 {
     let w = Workload::by_name(workload).unwrap();
     Simulator::build(&SimConfig::for_workload(w, policy).with_cycles(cycles))
+        .expect("valid ablation config")
         .run()
+        .expect("ablation run makes forward progress")
         .throughput()
 }
 
@@ -38,21 +40,33 @@ fn run_banks(workload: &str, banks: u32, cycles: u64) -> f64 {
     let w = Workload::by_name(workload).unwrap();
     let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount).with_cycles(cycles);
     cfg.mem.l2_banks = banks;
-    Simulator::build(&cfg).run().throughput()
+    Simulator::build(&cfg)
+        .expect("valid ablation config")
+        .run()
+        .expect("ablation run makes forward progress")
+        .throughput()
 }
 
 fn run_clusters(workload: &str, clusters: u32, policy: PolicyKind, cycles: u64) -> f64 {
     let w = Workload::by_name(workload).unwrap();
     let mut cfg = SimConfig::for_workload(w, policy).with_cycles(cycles);
     cfg.mem.l2_clusters = clusters;
-    Simulator::build(&cfg).run().throughput()
+    Simulator::build(&cfg)
+        .expect("valid ablation config")
+        .run()
+        .expect("ablation run makes forward progress")
+        .throughput()
 }
 
 fn run_prefetch(workload: &str, policy: PolicyKind, cycles: u64) -> f64 {
     let w = Workload::by_name(workload).unwrap();
     let mut cfg = SimConfig::for_workload(w, policy).with_cycles(cycles);
     cfg.mem.next_line_prefetch = true;
-    Simulator::build(&cfg).run().throughput()
+    Simulator::build(&cfg)
+        .expect("valid ablation config")
+        .run()
+        .expect("ablation run makes forward progress")
+        .throughput()
 }
 
 fn mcreg(history: usize, reducer: McRegReducer) -> PolicyKind {

@@ -52,7 +52,9 @@ fn main() {
                         Simulator::build(
                             &SimConfig::for_workload(w, p).with_cycles(BENCH_CYCLES),
                         )
-                        .run(),
+                        .expect("valid bench config")
+                        .run()
+                        .expect("bench run makes forward progress"),
                     );
                 },
             ));
@@ -62,22 +64,22 @@ fn main() {
     // Figure regenerations (multi-simulation sweeps; no single cycle
     // budget, so no sim-cyc/s column).
     rows.push(measure("fig2_singlecore", iters, 0, || {
-        black_box(figs::fig2(BENCH_CYCLES, 0));
+        black_box(figs::fig2(BENCH_CYCLES, 0, None));
     }));
     rows.push(measure("fig3_multicore", iters, 0, || {
-        black_box(figs::fig3(BENCH_CYCLES, 0));
+        black_box(figs::fig3(BENCH_CYCLES, 0, None));
     }));
     rows.push(measure("fig4_l2hit", iters, 0, || {
-        black_box(figs::fig4(BENCH_CYCLES, 0));
+        black_box(figs::fig4(BENCH_CYCLES, 0, None));
     }));
     rows.push(measure("fig5_dm_sweep", iters, 0, || {
-        black_box(figs::fig5(BENCH_CYCLES, 0));
+        black_box(figs::fig5(BENCH_CYCLES, 0, None));
     }));
     rows.push(measure("fig8_throughput", iters, 0, || {
-        black_box(figs::fig8(BENCH_CYCLES, 0));
+        black_box(figs::fig8(BENCH_CYCLES, 0, None));
     }));
     rows.push(measure("fig11_energy", iters, 0, || {
-        black_box(figs::fig11(BENCH_CYCLES, 0));
+        black_box(figs::fig11(BENCH_CYCLES, 0, None));
     }));
 
     // Static renders (Figs 1, 6, 7, 9, 10): cheap, but recorded too.

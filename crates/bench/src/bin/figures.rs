@@ -3,15 +3,22 @@
 //! ```text
 //! cargo run --release -p smtsim-bench --bin figures -- all
 //! cargo run --release -p smtsim-bench --bin figures -- fig8 --cycles 300000
+//! cargo run --release -p smtsim-bench --bin figures -- all --journal out/journals
 //! ```
+//!
+//! With `--journal DIR`, every sweep appends finished jobs to a file
+//! under DIR; re-running the same command after an interruption skips
+//! the recorded jobs and produces byte-identical figures.
 
 use smtsim_bench as figs;
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut cycles = 0u64;
     let mut workers = 0usize;
+    let mut journal_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -27,9 +34,16 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--workers N");
             }
+            "--journal" => {
+                journal_dir = Some(PathBuf::from(it.next().expect("--journal DIR")));
+            }
             other => which.push(other.to_string()),
         }
     }
+    if let Some(dir) = &journal_dir {
+        std::fs::create_dir_all(dir).expect("create --journal directory");
+    }
+    let journal = journal_dir.as_deref();
     if which.is_empty() {
         which.push("all".into());
     }
@@ -40,16 +54,16 @@ fn main() {
         println!("{}", figs::fig1());
     }
     if want("fig2") {
-        println!("{}", figs::fig2(cycles, workers).text);
+        println!("{}", figs::fig2(cycles, workers, journal).text);
     }
     if want("fig3") {
-        println!("{}", figs::fig3(cycles, workers).text);
+        println!("{}", figs::fig3(cycles, workers, journal).text);
     }
     if want("fig4") {
-        println!("{}", figs::fig4(cycles, workers).text);
+        println!("{}", figs::fig4(cycles, workers, journal).text);
     }
     if want("fig5") {
-        println!("{}", figs::fig5(cycles, workers).text);
+        println!("{}", figs::fig5(cycles, workers, journal).text);
     }
     if want("fig6") {
         println!("{}", figs::fig6());
@@ -58,7 +72,7 @@ fn main() {
         println!("{}", figs::fig7());
     }
     if want("fig8") {
-        println!("{}", figs::fig8(cycles, workers).text);
+        println!("{}", figs::fig8(cycles, workers, journal).text);
     }
     if want("fig9") {
         println!("{}", figs::fig9());
@@ -67,10 +81,10 @@ fn main() {
         println!("{}", figs::fig10());
     }
     if want("fig11") {
-        println!("{}", figs::fig11(cycles, workers).text);
+        println!("{}", figs::fig11(cycles, workers, journal).text);
     }
     // Beyond the paper: pass `extensions` explicitly (not part of `all`).
     if which.iter().any(|w| w == "extensions") {
-        println!("{}", figs::extension_study(cycles, workers).text);
+        println!("{}", figs::extension_study(cycles, workers, journal).text);
     }
 }

@@ -1,13 +1,14 @@
 //! One regeneration function per paper table/figure.
 
 use smtsim_core::config::DEFAULT_CYCLES;
-use smtsim_core::{report, run_sweep, SimConfig, SimResult, SweepJob, Workload};
+use smtsim_core::{report, run_sweep_journaled, SimConfig, SimResult, SweepJob, Workload};
 use smtsim_core::workloads::{ALL_WORKLOADS, FIG5B_WORKLOAD};
 use smtsim_energy::report as energy_report;
 use smtsim_mem::{LatencyHistogram, MemConfig};
 use smtsim_policy::mflush::{McRegConfig, McRegFile, MflushConfig};
 use smtsim_policy::PolicyKind;
 use std::fmt::Write;
+use std::path::{Path, PathBuf};
 
 /// Resolve a cycle budget (0 → default).
 fn budget(cycles: u64) -> u64 {
@@ -18,11 +19,19 @@ fn budget(cycles: u64) -> u64 {
     }
 }
 
+/// Per-sweep journal file inside the optional `--journal` directory.
+/// Each figure (and each machine size within a figure) gets its own
+/// file so interrupted regenerations resume at sweep granularity.
+fn journal_file(dir: Option<&Path>, tag: &str) -> Option<PathBuf> {
+    dir.map(|d| d.join(format!("{tag}.jsonl")))
+}
+
 fn sweep_workloads(
     workloads: &[&Workload],
     policies: &[PolicyKind],
     cycles: u64,
     workers: usize,
+    journal: Option<PathBuf>,
 ) -> Vec<(String, Vec<SimResult>)> {
     let mut jobs = Vec::new();
     for w in workloads {
@@ -33,7 +42,7 @@ fn sweep_workloads(
             ));
         }
     }
-    let flat = run_sweep(&jobs, workers);
+    let flat = run_sweep_journaled(&jobs, workers, journal.as_deref());
     let per = policies.len();
     workloads
         .iter()
@@ -41,7 +50,10 @@ fn sweep_workloads(
         .map(|(i, w)| {
             let results = flat[i * per..(i + 1) * per]
                 .iter()
-                .map(|(_, r)| r.clone())
+                .map(|(label, r)| match r {
+                    Ok(r) => r.clone(),
+                    Err(e) => panic!("figure sweep job '{label}' failed: {e}"),
+                })
                 .collect();
             (w.name.to_string(), results)
         })
@@ -109,10 +121,16 @@ impl Fig2 {
 
 /// Reproduce Fig. 2: all 2Wy workloads on a single-core SMT under
 /// ICOUNT and FLUSH-S30.
-pub fn fig2(cycles: u64, workers: usize) -> Fig2 {
+pub fn fig2(cycles: u64, workers: usize, journal: Option<&Path>) -> Fig2 {
     let workloads = Workload::of_size(2);
     let policies = [PolicyKind::Icount, PolicyKind::FlushSpec(30)];
-    let data = sweep_workloads(&workloads, &policies, cycles, workers);
+    let data = sweep_workloads(
+        &workloads,
+        &policies,
+        cycles,
+        workers,
+        journal_file(journal, "fig2"),
+    );
     let mut rows = Vec::new();
     let mut text = String::new();
     let _ = writeln!(text, "== Fig. 2: Throughput in single-core SMT ==");
@@ -159,14 +177,20 @@ impl Fig3 {
 /// threads → 1–4 cores) under ICOUNT and FLUSH-S30. The paper's
 /// finding: the single-core FLUSH advantage shrinks with core count and
 /// inverts at 4 cores.
-pub fn fig3(cycles: u64, workers: usize) -> Fig3 {
+pub fn fig3(cycles: u64, workers: usize, journal: Option<&Path>) -> Fig3 {
     let policies = [PolicyKind::Icount, PolicyKind::FlushSpec(30)];
     let mut rows = Vec::new();
     let mut text = String::new();
     let _ = writeln!(text, "== Fig. 3: Average throughput, multicore CMP+SMT ==");
     let _ = writeln!(text, "{:<9}{:>12}{:>12}{:>10}", "threads", "ICOUNT", "FLUSH-S30", "ratio");
     for size in [2usize, 4, 6, 8] {
-        let data = sweep_workloads(&Workload::of_size(size), &policies, cycles, workers);
+        let data = sweep_workloads(
+            &Workload::of_size(size),
+            &policies,
+            cycles,
+            workers,
+            journal_file(journal, &format!("fig3-{size}t")),
+        );
         let avg = |k: usize| {
             data.iter().map(|(_, r)| r[k].throughput()).sum::<f64>() / data.len() as f64
         };
@@ -200,7 +224,7 @@ impl Fig4 {
 
 /// Reproduce Fig. 4: distribution of cycles from LSQ issue to service
 /// for loads that hit the shared L2, per machine size.
-pub fn fig4(cycles: u64, workers: usize) -> Fig4 {
+pub fn fig4(cycles: u64, workers: usize, journal: Option<&Path>) -> Fig4 {
     let mut rows = Vec::new();
     let mut text = String::new();
     let _ = writeln!(text, "== Fig. 4: Average L2 cache hit time ==");
@@ -210,6 +234,7 @@ pub fn fig4(cycles: u64, workers: usize) -> Fig4 {
             &[PolicyKind::Icount],
             cycles,
             workers,
+            journal_file(journal, &format!("fig4-{size}t")),
         );
         let mut merged = LatencyHistogram::for_l2_hit_time();
         for (_, rs) in &data {
@@ -258,7 +283,7 @@ impl Fig5 {
 
 /// Reproduce Fig. 5: sweep the speculative trigger from 30 to 150
 /// cycles (plus FL-NS) on (a) 8W3 and (b) the bzip2/twolf workload.
-pub fn fig5(cycles: u64, workers: usize) -> Fig5 {
+pub fn fig5(cycles: u64, workers: usize, journal: Option<&Path>) -> Fig5 {
     let triggers: Vec<PolicyKind> = (30..=150)
         .step_by(20)
         .map(PolicyKind::FlushSpec)
@@ -266,7 +291,13 @@ pub fn fig5(cycles: u64, workers: usize) -> Fig5 {
         .collect();
     let w_a = Workload::by_name("8W3").unwrap();
     let w_b = &FIG5B_WORKLOAD;
-    let data = sweep_workloads(&[w_a, w_b], &triggers, cycles, workers);
+    let data = sweep_workloads(
+        &[w_a, w_b],
+        &triggers,
+        cycles,
+        workers,
+        journal_file(journal, "fig5"),
+    );
     let mut rows = Vec::new();
     let mut text = String::new();
     let _ = writeln!(text, "== Fig. 5: Detection Moment analysis ==");
@@ -374,13 +405,19 @@ impl Fig8 {
 
 /// Reproduce Fig. 8: the four evaluated policies on every 4-, 6- and
 /// 8-thread workload.
-pub fn fig8(cycles: u64, workers: usize) -> Fig8 {
+pub fn fig8(cycles: u64, workers: usize, journal: Option<&Path>) -> Fig8 {
     let policies = PolicyKind::fig8_set();
     let workloads: Vec<&Workload> = [4usize, 6, 8]
         .iter()
         .flat_map(|&s| Workload::of_size(s))
         .collect();
-    let results = sweep_workloads(&workloads, &policies, cycles, workers);
+    let results = sweep_workloads(
+        &workloads,
+        &policies,
+        cycles,
+        workers,
+        journal_file(journal, "fig8"),
+    );
     let mut rows = Vec::new();
     let mut text = String::new();
     let _ = writeln!(text, "== Fig. 8: Throughput results ==");
@@ -431,7 +468,7 @@ pub struct ExtStudy {
 /// DCRA, ADTS, STALL-S30, FLUSH-ADAPT, FLUSH-LMP) on the 8-thread
 /// workloads: adaptivity-in-priority vs adaptivity-in-threshold vs
 /// adaptivity-in-prediction.
-pub fn extension_study(cycles: u64, workers: usize) -> ExtStudy {
+pub fn extension_study(cycles: u64, workers: usize, journal: Option<&Path>) -> ExtStudy {
     let policies = [
         PolicyKind::RoundRobin,
         PolicyKind::Icount,
@@ -447,7 +484,13 @@ pub fn extension_study(cycles: u64, workers: usize) -> ExtStudy {
         PolicyKind::Mflush,
     ];
     let workloads = Workload::of_size(8);
-    let data = sweep_workloads(&workloads, &policies, cycles, workers);
+    let data = sweep_workloads(
+        &workloads,
+        &policies,
+        cycles,
+        workers,
+        journal_file(journal, "extensions"),
+    );
     let mut rows = Vec::new();
     let mut text = String::new();
     let _ = writeln!(
@@ -519,7 +562,7 @@ impl Fig11 {
 
 /// Reproduce Fig. 11: the wasted (refetch) energy of each flushing
 /// policy on the Fig. 8 workloads.
-pub fn fig11(cycles: u64, workers: usize) -> Fig11 {
+pub fn fig11(cycles: u64, workers: usize, journal: Option<&Path>) -> Fig11 {
     let policies = [
         PolicyKind::FlushSpec(30),
         PolicyKind::FlushSpec(100),
@@ -529,7 +572,13 @@ pub fn fig11(cycles: u64, workers: usize) -> Fig11 {
         .iter()
         .flat_map(|&s| Workload::of_size(s))
         .collect();
-    let results = sweep_workloads(&workloads, &policies, cycles, workers);
+    let results = sweep_workloads(
+        &workloads,
+        &policies,
+        cycles,
+        workers,
+        journal_file(journal, "fig11"),
+    );
     let mut rows = Vec::new();
     let mut text = String::new();
     let _ = writeln!(text, "== Fig. 11: FLUSH wasted energy (energy units) ==");

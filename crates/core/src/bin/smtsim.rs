@@ -4,30 +4,125 @@
 //! smtsim run --workload 8W3 --policy mflush --cycles 200000
 //! smtsim run --benchmarks mcf,gzip,swim,crafty --policy flush-s50 --json
 //! smtsim sweep --workload 8W3 --cycles 100000 --csv
-//! smtsim sweep --workload 8W3 --cycles 100000 --json
+//! smtsim sweep --workload 8W3 --cycles 100000 --json --journal sweep.jsonl
 //! smtsim calibrate --cycles 60000 --json
 //! smtsim workloads
 //! smtsim policies
 //! ```
+//!
+//! Exit codes: `0` success, `1` a simulation failed (invalid
+//! configuration caught at build time, watchdog-detected livelock, or
+//! a panicked sweep job), `2` usage errors — including unknown
+//! workload/benchmark/policy names, which come with a "did you mean"
+//! suggestion.
 
 use smtsim_core::calibration::{calibrate, calibration_json, calibration_table};
-use smtsim_core::report::{histogram_table, results_csv, results_json, throughput_table};
+use smtsim_core::json::{write_escaped, JsonObject};
+use smtsim_core::report::{histogram_table, results_csv, throughput_table};
 use smtsim_core::workloads::{ALL_WORKLOADS, FIG5B_WORKLOAD};
-use smtsim_core::{run_sweep, SimConfig, Simulator, SweepJob, ToJson, Workload};
+use smtsim_core::{run_sweep_journaled, SimConfig, Simulator, SweepJob, ToJson, Workload};
 use smtsim_policy::PolicyKind;
+use smtsim_trace::spec;
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          smtsim run --workload <xWy> [--policy <p>] [--cycles N] [--seed N] [--json]\n  \
          smtsim run --benchmarks a,b,c,d [--policy <p>] [--cycles N] [--json]\n  \
-         smtsim sweep --workload <xWy> [--cycles N] [--csv | --json]\n  \
+         smtsim sweep --workload <xWy> [--cycles N] [--journal FILE] [--csv | --json]\n  \
          smtsim calibrate [--cycles N] [--json]\n  \
          smtsim workloads | policies\n\n\
          policies: icount, rr, brcount, l1dmisscount, adts, dcra,\n           \
          stall-sNN, stall-ns, flush-sNN, flush-ns, flush-adapt, mflush"
     );
     std::process::exit(2);
+}
+
+// ----------------------------------------------------------------
+// "did you mean" support for unknown names
+// ----------------------------------------------------------------
+
+/// Edit distance with adjacent transpositions counted as one edit
+/// (optimal string alignment — `mfc` is one typo from `mcf`, not two).
+/// Case-sensitive; callers lowercase both sides first.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Three rolling rows: i-2, i-1, i.
+    let mut prev2: Vec<usize> = vec![0; b.len() + 1];
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            let mut best = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            if i > 0 && j > 0 && ca == b[j - 1] && a[i - 1] == cb {
+                best = best.min(prev2[j - 1] + 1);
+            }
+            cur[j + 1] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Closest candidate within an input-length-scaled edit budget. Short
+/// names tolerate one edit, longer ones up to a third of their length;
+/// anything further is noise, not a typo.
+fn did_you_mean<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    let input = input.to_ascii_lowercase();
+    let budget = (input.len() / 3).max(1);
+    candidates
+        .iter()
+        .map(|c| (levenshtein(&input, &c.to_ascii_lowercase()), *c))
+        .filter(|(d, _)| *d <= budget)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c)
+}
+
+/// Report an unknown name with a typo suggestion and exit 2.
+fn unknown_name(kind: &str, input: &str, candidates: &[&str], hint: &str) -> ! {
+    match did_you_mean(input, candidates) {
+        Some(s) => eprintln!("unknown {kind} '{input}' (did you mean '{s}'?)"),
+        None => eprintln!("unknown {kind} '{input}' ({hint})"),
+    }
+    std::process::exit(2);
+}
+
+/// Spellable policy names for suggestions (concrete thresholds stand in
+/// for the `-sNN` families).
+const POLICY_NAMES: [&str; 16] = [
+    "icount",
+    "rr",
+    "roundrobin",
+    "brcount",
+    "l1dmisscount",
+    "misscount",
+    "adts",
+    "dcra",
+    "stall-s30",
+    "stall-ns",
+    "flush-s30",
+    "flush-s100",
+    "flush-ns",
+    "flush-adapt",
+    "adaptive",
+    "mflush",
+];
+
+fn workload_names() -> Vec<&'static str> {
+    ALL_WORKLOADS
+        .iter()
+        .chain([&FIG5B_WORKLOAD])
+        .map(|w| w.name)
+        .collect()
+}
+
+fn benchmark_names() -> Vec<&'static str> {
+    spec::ALL_BENCHMARKS.iter().map(|b| b.name).collect()
 }
 
 fn parse_policy(s: &str) -> Option<PolicyKind> {
@@ -107,8 +202,7 @@ impl Args {
 fn build_config(args: &Args, policy: PolicyKind) -> SimConfig {
     if let Some(wl) = args.get("workload") {
         let w = Workload::by_name(wl).unwrap_or_else(|| {
-            eprintln!("unknown workload {wl} (try `smtsim workloads`)");
-            std::process::exit(2);
+            unknown_name("workload", wl, &workload_names(), "try `smtsim workloads`");
         });
         SimConfig::for_workload(w, policy)
     } else if let Some(list) = args.get("benchmarks") {
@@ -117,6 +211,16 @@ fn build_config(args: &Args, policy: PolicyKind) -> SimConfig {
             eprintln!("need an even number of benchmarks (2 per core)");
             std::process::exit(2);
         }
+        for n in &names {
+            if spec::benchmark_by_name(n).is_none() {
+                unknown_name(
+                    "benchmark",
+                    n,
+                    &benchmark_names(),
+                    "see the SPEC2000 names in DESIGN.md §4",
+                );
+            }
+        }
         SimConfig::for_benchmarks(&names, policy)
     } else {
         eprintln!("need --workload or --benchmarks");
@@ -124,25 +228,38 @@ fn build_config(args: &Args, policy: PolicyKind) -> SimConfig {
     }
 }
 
-fn cmd_run(args: &Args) {
-    let policy = args
-        .get("policy")
+fn parse_policy_arg(args: &Args) -> PolicyKind {
+    args.get("policy")
         .map(|p| {
             parse_policy(p).unwrap_or_else(|| {
-                eprintln!("unknown policy {p}");
-                usage();
+                unknown_name("policy", p, &POLICY_NAMES, "try `smtsim policies`");
             })
         })
-        .unwrap_or(PolicyKind::Mflush);
+        .unwrap_or(PolicyKind::Mflush)
+}
+
+fn cmd_run(args: &Args) {
+    let policy = parse_policy_arg(args);
     let cfg = build_config(args, policy)
         .with_cycles(args.get_u64("cycles", smtsim_core::config::DEFAULT_CYCLES))
-        .with_seed(args.get_u64("seed", 0x5eed));
-    if let Err(e) = cfg.validate() {
-        eprintln!("invalid configuration: {e}");
-        std::process::exit(2);
-    }
+        .with_seed(args.get_u64("seed", 0x5eed))
+        .with_watchdog(args.get_u64(
+            "watchdog",
+            smtsim_core::config::DEFAULT_WATCHDOG,
+        ));
     let workload = cfg.benchmarks.join(",");
-    let r = Simulator::build(&cfg).run();
+    let outcome = Simulator::build(&cfg).and_then(|s| s.run());
+    let r = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            if args.has("json") {
+                println!("{}", e.to_json());
+            } else {
+                eprintln!("error: {e}");
+            }
+            std::process::exit(1);
+        }
+    };
     if args.has("json") {
         println!("{}", r.to_json());
         return;
@@ -168,6 +285,7 @@ fn cmd_run(args: &Args) {
 
 fn cmd_sweep(args: &Args) {
     let cycles = args.get_u64("cycles", smtsim_core::config::DEFAULT_CYCLES);
+    let journal: Option<PathBuf> = args.get("journal").map(PathBuf::from);
     let policies = [
         PolicyKind::Icount,
         PolicyKind::FlushSpec(30),
@@ -186,16 +304,51 @@ fn cmd_sweep(args: &Args) {
             SweepJob::new(p.label(), cfg)
         })
         .collect();
-    let out = run_sweep(&jobs, 0);
-    let results: Vec<&smtsim_core::SimResult> = out.iter().map(|(_, r)| r).collect();
-    let labels: Vec<&str> = out.iter().map(|(l, _)| l.as_str()).collect();
+    let out = run_sweep_journaled(&jobs, 0, journal.as_deref());
+    let failed = out.iter().filter(|(_, r)| r.is_err()).count();
     let wl = base.benchmarks.join("+");
     if args.has("json") {
-        println!("{}", results_json(&[(wl.as_str(), results)]));
-    } else if args.has("csv") {
-        print!("{}", results_csv(&[(wl.as_str(), results)]));
+        // One self-describing object per job: successes carry
+        // "result", failures carry "error" — so one livelocked job
+        // never hides the healthy ones.
+        let mut s = String::new();
+        s.push_str("{\"workload\":");
+        write_escaped(&mut s, &wl);
+        s.push_str(",\"jobs\":[");
+        for (i, (label, r)) in out.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let mut o = JsonObject::begin(&mut s);
+            o.field("label", label);
+            match r {
+                Ok(res) => o.field("result", res),
+                Err(e) => o.field("error", e),
+            };
+            o.end();
+        }
+        s.push_str("]}");
+        println!("{s}");
     } else {
-        print!("{}", throughput_table(&labels, &[(wl.as_str(), results)]));
+        for (label, r) in &out {
+            if let Err(e) = r {
+                eprintln!("sweep job '{label}' failed: {e}");
+            }
+        }
+        let ok: Vec<(&str, &smtsim_core::SimResult)> = out
+            .iter()
+            .filter_map(|(l, r)| r.as_ref().ok().map(|res| (l.as_str(), res)))
+            .collect();
+        let labels: Vec<&str> = ok.iter().map(|(l, _)| *l).collect();
+        let results: Vec<&smtsim_core::SimResult> = ok.iter().map(|(_, r)| *r).collect();
+        if args.has("csv") {
+            print!("{}", results_csv(&[(wl.as_str(), results)]));
+        } else {
+            print!("{}", throughput_table(&labels, &[(wl.as_str(), results)]));
+        }
+    }
+    if failed > 0 {
+        std::process::exit(1);
     }
 }
 
@@ -252,5 +405,47 @@ fn main() {
         "workloads" => cmd_workloads(),
         "policies" => cmd_policies(),
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("mflush", "mflsh"), 1);
+        assert_eq!(levenshtein("mfc", "mcf"), 1, "transposition is one edit");
+    }
+
+    #[test]
+    fn suggestions_catch_close_typos() {
+        assert_eq!(did_you_mean("mflsh", &POLICY_NAMES), Some("mflush"));
+        assert_eq!(did_you_mean("icont", &POLICY_NAMES), Some("icount"));
+        assert_eq!(did_you_mean("FLUSH-NS", &POLICY_NAMES), Some("flush-ns"));
+        assert_eq!(did_you_mean("8W2", &workload_names()), Some("8W2"));
+        assert!(did_you_mean("8w9", &workload_names()).is_some());
+        assert_eq!(did_you_mean("mfc", &benchmark_names()), Some("mcf"));
+    }
+
+    #[test]
+    fn distant_garbage_gets_no_suggestion() {
+        assert_eq!(did_you_mean("zzzzzzzzzz", &POLICY_NAMES), None);
+        assert_eq!(did_you_mean("qqqq", &benchmark_names()), None);
+    }
+
+    #[test]
+    fn policy_parser_accepts_documented_spellings() {
+        for name in POLICY_NAMES {
+            assert!(parse_policy(name).is_some(), "{name} should parse");
+        }
+        assert!(parse_policy("flush-s85").is_some());
+        assert!(parse_policy("stall-s120").is_some());
+        assert!(parse_policy("flush-sXX").is_none());
+        assert!(parse_policy("no-such-policy").is_none());
     }
 }

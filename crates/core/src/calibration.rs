@@ -8,7 +8,7 @@
 
 use crate::config::SimConfig;
 use crate::sim::Simulator;
-use crate::sweep::{run_sweep, SweepJob};
+use crate::sweep::{run_sweep_ok, SweepJob};
 use smtsim_policy::PolicyKind;
 use smtsim_trace::spec;
 
@@ -41,7 +41,7 @@ pub fn calibrate(cycles: u64, workers: usize) -> Vec<CalRow> {
             )
         })
         .collect();
-    run_sweep(&jobs, workers)
+    run_sweep_ok(&jobs, workers)
         .into_iter()
         .map(|(name, r)| {
             let core = &r.cores[0];
@@ -85,7 +85,10 @@ pub fn calibrate(cycles: u64, workers: usize) -> Vec<CalRow> {
 /// Run calibration for a single benchmark (cheaper for tests).
 pub fn calibrate_one(name: &str, cycles: u64) -> CalRow {
     let cfg = SimConfig::for_benchmarks(&[name, name], PolicyKind::Icount).with_cycles(cycles);
-    let r = Simulator::build(&cfg).run();
+    let r = Simulator::build(&cfg)
+        .expect("calibration config is valid")
+        .run()
+        .expect("calibration runs make forward progress");
     let core = &r.cores[0];
     let mem = &r.mem.cores[0];
     let branches: u64 = core.threads.iter().map(|t| t.branches).sum();

@@ -13,6 +13,16 @@ use smtsim_policy::{PolicyEnv, PolicyKind};
 /// remains overridable.
 pub const DEFAULT_CYCLES: u64 = 150_000;
 
+/// Default forward-progress watchdog interval in cycles.
+///
+/// If no core commits an instruction and no memory transaction retires
+/// for this many consecutive cycles, the run aborts with
+/// `SimError::NoForwardProgress` instead of silently spinning to the
+/// cycle budget. The longest legitimate stall in the Fig. 1 machine is
+/// a few thousand cycles (TLB miss + L2 miss + full bus contention),
+/// so 50k is an order of magnitude of headroom.
+pub const DEFAULT_WATCHDOG: u64 = 50_000;
+
 /// One complete experiment: machine + workload + policy + interval.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -32,6 +42,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Warm caches/TLBs to the trace-driven starting condition.
     pub warmup: bool,
+    /// Forward-progress watchdog interval in cycles; `0` disables the
+    /// watchdog entirely.
+    pub watchdog_cycles: u64,
 }
 
 impl SimConfig {
@@ -49,6 +62,7 @@ impl SimConfig {
             cycles: DEFAULT_CYCLES,
             seed: 0x5eed,
             warmup: true,
+            watchdog_cycles: DEFAULT_WATCHDOG,
         }
     }
 
@@ -62,6 +76,7 @@ impl SimConfig {
             cycles: DEFAULT_CYCLES,
             seed: 0x5eed,
             warmup: true,
+            watchdog_cycles: DEFAULT_WATCHDOG,
         }
     }
 
@@ -74,6 +89,12 @@ impl SimConfig {
     /// Builder-style override of the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the watchdog interval (0 disables).
+    pub fn with_watchdog(mut self, watchdog_cycles: u64) -> Self {
+        self.watchdog_cycles = watchdog_cycles;
         self
     }
 
@@ -176,8 +197,18 @@ mod tests {
         let w = Workload::by_name("2W1").unwrap();
         let cfg = SimConfig::for_workload(w, PolicyKind::Icount)
             .with_cycles(42)
-            .with_seed(7);
+            .with_seed(7)
+            .with_watchdog(1000);
         assert_eq!(cfg.cycles, 42);
         assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.watchdog_cycles, 1000);
+    }
+
+    #[test]
+    fn watchdog_defaults_on() {
+        let w = Workload::by_name("2W1").unwrap();
+        let cfg = SimConfig::for_workload(w, PolicyKind::Icount);
+        assert_eq!(cfg.watchdog_cycles, DEFAULT_WATCHDOG);
+        assert!(cfg.watchdog_cycles > 0);
     }
 }

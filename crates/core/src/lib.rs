@@ -23,6 +23,7 @@
 
 pub mod calibration;
 pub mod config;
+pub mod error;
 pub mod json;
 pub mod report;
 pub mod result;
@@ -31,9 +32,10 @@ pub mod sweep;
 pub mod workloads;
 
 pub use calibration::{calibrate, calibrate_one, CalRow};
+pub use error::{CoreDiagnostic, ProgressDiagnostic, SimError};
 pub use json::ToJson;
 pub use config::SimConfig;
 pub use result::SimResult;
 pub use sim::Simulator;
-pub use sweep::{run_sweep, SweepJob};
+pub use sweep::{run_sweep, run_sweep_journaled, run_sweep_ok, SweepJob};
 pub use workloads::Workload;

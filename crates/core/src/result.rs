@@ -1,8 +1,9 @@
 //! Measurement snapshot of one simulation run.
 
-use smtsim_cpu::CoreStats;
+use crate::json::JsonValue;
+use smtsim_cpu::{CoreStats, ThreadStats};
 use smtsim_energy::EnergyAccount;
-use smtsim_mem::{LatencyHistogram, MemStats};
+use smtsim_mem::{CoreMemStats, LatencyHistogram, MemStats};
 
 /// Everything the figure harness needs from one run.
 #[derive(Debug, Clone)]
@@ -114,6 +115,128 @@ impl SimResult {
             .map(|(a, b)| if b == 0.0 { 0.0 } else { a / b })
             .collect()
     }
+
+    /// Decode a result from its own JSON rendering (the sweep journal's
+    /// replay path). Only the *raw* fields are read — every float in
+    /// the JSON (`throughput`, `hmean_ipc`, `l2_hit_rate`, energy
+    /// ratios, …) is derived from them and recomputed at emit time, so
+    /// `decode(encode(r)).to_json() == r.to_json()` byte-for-byte.
+    pub fn from_json(v: &JsonValue) -> Result<SimResult, String> {
+        Ok(SimResult {
+            policy: v.req_str("policy")?.to_string(),
+            workload: v
+                .req_arr("workload")?
+                .iter()
+                .map(|w| {
+                    w.as_str()
+                        .map(String::from)
+                        .ok_or_else(|| "non-string workload entry".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            cycles: v.req_u64("cycles")?,
+            cores: v
+                .req_arr("cores")?
+                .iter()
+                .map(core_stats_from_json)
+                .collect::<Result<_, _>>()?,
+            mem: mem_stats_from_json(v.get("mem").ok_or("missing mem")?)?,
+            l2_hit_hist: histogram_from_json(
+                v.get("l2_hit_hist").ok_or("missing l2_hit_hist")?,
+            )?,
+        })
+    }
+}
+
+fn u64_array(v: &JsonValue, key: &str) -> Result<Vec<u64>, String> {
+    v.req_arr(key)?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| format!("non-integer in {key:?}")))
+        .collect()
+}
+
+fn u64_array8(v: &JsonValue, key: &str) -> Result<[u64; 8], String> {
+    u64_array(v, key)?
+        .try_into()
+        .map_err(|_| format!("{key:?} is not 8 entries"))
+}
+
+fn energy_from_json(v: &JsonValue) -> Result<EnergyAccount, String> {
+    Ok(EnergyAccount::from_parts(
+        v.req_u64("committed")?,
+        u64_array8(v, "flush_squashed")?,
+        u64_array8(v, "branch_squashed")?,
+    ))
+}
+
+fn thread_stats_from_json(v: &JsonValue) -> Result<ThreadStats, String> {
+    Ok(ThreadStats {
+        committed: v.req_u64("committed")?,
+        fetched: v.req_u64("fetched")?,
+        branches: v.req_u64("branches")?,
+        mispredicts: v.req_u64("mispredicts")?,
+        loads_issued: v.req_u64("loads_issued")?,
+        flushes: v.req_u64("flushes")?,
+        energy: energy_from_json(v.get("energy").ok_or("missing energy")?)?,
+    })
+}
+
+fn core_stats_from_json(v: &JsonValue) -> Result<CoreStats, String> {
+    Ok(CoreStats {
+        threads: v
+            .req_arr("threads")?
+            .iter()
+            .map(thread_stats_from_json)
+            .collect::<Result<_, _>>()?,
+        fetch_active_cycles: v.req_u64("fetch_active_cycles")?,
+        iq_full_stalls: v.req_u64("iq_full_stalls")?,
+        reg_full_stalls: v.req_u64("reg_full_stalls")?,
+        rob_full_stalls: v.req_u64("rob_full_stalls")?,
+        mshr_retries: v.req_u64("mshr_retries")?,
+        flushes_executed: v.req_u64("flushes_executed")?,
+        stalls_executed: v.req_u64("stalls_executed")?,
+        store_forwards: v.req_u64("store_forwards")?,
+    })
+}
+
+fn core_mem_stats_from_json(v: &JsonValue) -> Result<CoreMemStats, String> {
+    Ok(CoreMemStats {
+        ifetches: v.req_u64("ifetches")?,
+        ifetch_l1_misses: v.req_u64("ifetch_l1_misses")?,
+        loads: v.req_u64("loads")?,
+        load_l1_misses: v.req_u64("load_l1_misses")?,
+        stores: v.req_u64("stores")?,
+        store_l1_misses: v.req_u64("store_l1_misses")?,
+        l2_hits: v.req_u64("l2_hits")?,
+        l2_misses: v.req_u64("l2_misses")?,
+        itlb_misses: v.req_u64("itlb_misses")?,
+        dtlb_misses: v.req_u64("dtlb_misses")?,
+        mshr_merges: v.req_u64("mshr_merges")?,
+        mshr_full_stalls: v.req_u64("mshr_full_stalls")?,
+        writebacks: v.req_u64("writebacks")?,
+        prefetches: v.req_u64("prefetches")?,
+    })
+}
+
+fn mem_stats_from_json(v: &JsonValue) -> Result<MemStats, String> {
+    Ok(MemStats {
+        cores: v
+            .req_arr("cores")?
+            .iter()
+            .map(core_mem_stats_from_json)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn histogram_from_json(v: &JsonValue) -> Result<LatencyHistogram, String> {
+    Ok(LatencyHistogram::from_parts(
+        v.req_u64("bin_width")?,
+        u64_array(v, "bins")?,
+        v.req_u64("overflow")?,
+        v.req_u64("count")?,
+        v.req_u64("sum")?,
+        v.req_opt_u64("min")?,
+        v.req_opt_u64("max")?,
+    ))
 }
 
 #[cfg(test)]
@@ -200,5 +323,35 @@ mod tests {
         let mut b = result_with(&[100], 100);
         b.workload = vec!["other".into()];
         let _ = a.per_thread_speedup(&b);
+    }
+
+    #[test]
+    fn json_roundtrip_is_byte_identical() {
+        use crate::json::{parse_json, ToJson};
+        // A real simulation result, so every field is exercised with
+        // non-trivial values (histogram populated, energy non-zero).
+        use crate::config::SimConfig;
+        use crate::sim::Simulator;
+        use crate::workloads::Workload;
+        use smtsim_policy::PolicyKind;
+        let w = Workload::by_name("4W3").unwrap();
+        let cfg = SimConfig::for_workload(w, PolicyKind::Mflush).with_cycles(8_000);
+        let r = Simulator::build(&cfg).unwrap().run().unwrap();
+        let encoded = r.to_json();
+        let decoded = SimResult::from_json(&parse_json(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded.to_json(), encoded);
+    }
+
+    #[test]
+    fn from_json_rejects_damaged_documents() {
+        use crate::json::parse_json;
+        for bad in [
+            r#"{"policy":"X"}"#,
+            r#"{"policy":1,"workload":[],"cycles":5}"#,
+            r#"[1,2,3]"#,
+        ] {
+            let v = parse_json(bad).unwrap();
+            assert!(SimResult::from_json(&v).is_err(), "accepted {bad}");
+        }
     }
 }

@@ -4,8 +4,16 @@
 //! [`MemorySystem`]. Each cycle the memory system advances first, then
 //! every core, in id order — matching the in-order tick protocol the
 //! component crates document.
+//!
+//! The cycle loop carries a forward-progress watchdog: if no core
+//! commits an instruction and no memory transaction retires for
+//! `SimConfig::watchdog_cycles` consecutive cycles, the run aborts with
+//! [`SimError::NoForwardProgress`] carrying a structured snapshot of the
+//! wedged machine. The watchdog counts only simulated events — no wall
+//! clock — so same-seed runs stay byte-identical.
 
 use crate::config::SimConfig;
+use crate::error::{CoreDiagnostic, ProgressDiagnostic, SimError};
 use crate::result::SimResult;
 use smtsim_cpu::thread::ThreadProgram;
 use smtsim_cpu::SmtCore;
@@ -19,63 +27,153 @@ pub struct Simulator {
     cores: Vec<SmtCore>,
     mem: MemorySystem,
     now: u64,
+    /// Per-core committed-instruction count at the last observation.
+    last_committed: Vec<u64>,
+    /// Cycle of each core's most recent commit (0 = never committed).
+    last_commit_cycle: Vec<u64>,
+    /// Memory-system completion count at the last observation.
+    last_completions: u64,
+    /// Last cycle in which *anything* progressed (commit or memory
+    /// completion).
+    last_progress_cycle: u64,
 }
 
 impl Simulator {
-    /// Build the machine for an experiment. Panics on an invalid
-    /// configuration (configurations are validated, not recovered).
-    pub fn build(cfg: &SimConfig) -> Self {
-        // lint: allow(D3) -- construction-time validation, outside the cycle loop; configs fail fast
-        cfg.validate().expect("invalid SimConfig");
+    /// Build the machine for an experiment. Rejects an invalid
+    /// configuration with [`SimError::InvalidConfig`].
+    pub fn build(cfg: &SimConfig) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::InvalidConfig)?;
         let env = cfg.policy_env();
         let contexts = cfg.core.contexts as usize;
         let mem = MemorySystem::new(cfg.mem);
-        let cores = (0..cfg.cores())
-            .map(|core_id| {
-                let programs: Vec<ThreadProgram> = (0..contexts)
-                    .map(|slot| {
-                        let global = core_id as usize * contexts + slot;
-                        let profile = spec::benchmark_by_name(&cfg.benchmarks[global])
-                            // lint: allow(D3) -- benchmark names were checked by cfg.validate() above
-                            .expect("validated benchmark");
-                        ThreadProgram::from_generator(TraceGenerator::new(
-                            profile,
-                            cfg.seed + global as u64 * 7919,
-                        ))
-                    })
-                    .collect();
-                SmtCore::new(core_id, cfg.core, build_policy(cfg.policy, &env), programs)
-            })
-            .collect();
-        Simulator {
+        let num_cores = cfg.cores() as usize;
+        let mut cores = Vec::with_capacity(num_cores);
+        for core_id in 0..cfg.cores() {
+            let mut programs: Vec<ThreadProgram> = Vec::with_capacity(contexts);
+            for slot in 0..contexts {
+                let global = core_id as usize * contexts + slot;
+                let profile = spec::benchmark_by_name(&cfg.benchmarks[global]).ok_or_else(
+                    // Unreachable after validate(), but kept as an error
+                    // rather than a panic: build is fallible now.
+                    || SimError::InvalidConfig(format!("unknown benchmark {}", cfg.benchmarks[global])),
+                )?;
+                programs.push(ThreadProgram::from_generator(TraceGenerator::new(
+                    profile,
+                    cfg.seed + global as u64 * 7919,
+                )));
+            }
+            cores.push(SmtCore::new(
+                core_id,
+                cfg.core,
+                build_policy(cfg.policy, &env),
+                programs,
+            ));
+        }
+        Ok(Simulator {
             cfg: cfg.clone(),
+            last_committed: vec![0; num_cores],
+            last_commit_cycle: vec![0; num_cores],
+            last_completions: mem.total_completions(),
+            last_progress_cycle: 0,
             cores,
             mem,
             now: 0,
-        }
+        })
     }
 
-    /// Advance `cycles` cycles (without collecting a result).
-    pub fn step(&mut self, cycles: u64) {
+    /// Advance `cycles` cycles (without collecting a result). Returns
+    /// [`SimError::NoForwardProgress`] if the watchdog fires.
+    pub fn step(&mut self, cycles: u64) -> Result<(), SimError> {
         if self.now == 0 && self.cfg.warmup {
             for c in &mut self.cores {
                 c.prewarm(&mut self.mem);
             }
         }
+        let watchdog = self.cfg.watchdog_cycles;
         for _ in 0..cycles {
             self.mem.tick(self.now);
             for c in &mut self.cores {
                 c.tick(self.now, &mut self.mem);
             }
             self.now += 1;
+            self.observe_progress();
+            if watchdog > 0 && self.now - self.last_progress_cycle >= watchdog {
+                return Err(self.no_forward_progress());
+            }
+        }
+        Ok(())
+    }
+
+    /// Update the progress trackers after a cycle. Progress is "any
+    /// core committed" or "any memory transaction completed" — both are
+    /// monotonic counters, so this is a pair of compares per cycle.
+    fn observe_progress(&mut self) {
+        let mut progressed = false;
+        for (i, c) in self.cores.iter().enumerate() {
+            let committed = c.total_committed();
+            if committed != self.last_committed[i] {
+                self.last_committed[i] = committed;
+                self.last_commit_cycle[i] = self.now;
+                progressed = true;
+            }
+        }
+        let completions = self.mem.total_completions();
+        if completions != self.last_completions {
+            self.last_completions = completions;
+            progressed = true;
+        }
+        if progressed {
+            self.last_progress_cycle = self.now;
+        }
+    }
+
+    /// Build the structured livelock report. The headline core is the
+    /// one that has gone longest without committing (first such core on
+    /// ties — deterministic).
+    fn no_forward_progress(&self) -> SimError {
+        let mut worst = 0usize;
+        for (i, &cycle) in self.last_commit_cycle.iter().enumerate() {
+            if cycle < self.last_commit_cycle[worst] {
+                worst = i;
+            }
+        }
+        let cores = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let (mshr_occupancy, mshr_full) = self.mem.debug_mshr(i as u32);
+                CoreDiagnostic {
+                    core: i as u32,
+                    last_commit_cycle: self.last_commit_cycle[i],
+                    mshr_occupancy: mshr_occupancy as u64,
+                    mshr_full,
+                    threads: c.thread_snapshots(),
+                }
+            })
+            .collect();
+        SimError::NoForwardProgress {
+            cycle: self.now,
+            core: worst as u32,
+            last_commit_cycle: self.last_commit_cycle[worst],
+            diagnostic: ProgressDiagnostic {
+                policy: self
+                    .cores
+                    .first()
+                    .map(|c| c.policy_name())
+                    .unwrap_or_default(),
+                watchdog_cycles: self.cfg.watchdog_cycles,
+                inflight: self.mem.inflight_count() as u64,
+                cores,
+            },
         }
     }
 
     /// Run the configured fixed interval and return the measurements.
-    pub fn run(mut self) -> SimResult {
+    pub fn run(mut self) -> Result<SimResult, SimError> {
         let cycles = self.cfg.cycles;
-        self.step(cycles);
-        self.snapshot()
+        self.step(cycles)?;
+        Ok(self.snapshot())
     }
 
     /// Current measurement snapshot (cumulative since cycle 0).
@@ -132,7 +230,7 @@ mod tests {
     fn quick(workload: &str, policy: PolicyKind, cycles: u64) -> SimResult {
         let w = Workload::by_name(workload).unwrap();
         let cfg = SimConfig::for_workload(w, policy).with_cycles(cycles);
-        Simulator::build(&cfg).run()
+        Simulator::build(&cfg).unwrap().run().unwrap()
     }
 
     #[test]
@@ -153,6 +251,18 @@ mod tests {
                 "core {i} barely progressed: {}",
                 c.total_committed()
             );
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let w = Workload::by_name("2W1").unwrap();
+        let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount);
+        cfg.cycles = 0;
+        match Simulator::build(&cfg) {
+            Err(SimError::InvalidConfig(msg)) => assert!(msg.contains("cycles")),
+            Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+            Ok(_) => panic!("expected InvalidConfig, got a simulator"),
         }
     }
 
@@ -189,12 +299,12 @@ mod tests {
         .collect();
         let serial: Vec<String> = jobs
             .iter()
-            .map(|j| Simulator::build(&j.config).run().to_json())
+            .map(|j| Simulator::build(&j.config).unwrap().run().unwrap().to_json())
             .collect();
         for workers in [1, 2, 3] {
             let swept: Vec<String> = run_sweep(&jobs, workers)
                 .iter()
-                .map(|(_, r)| r.to_json())
+                .map(|(_, r)| r.as_ref().unwrap().to_json())
                 .collect();
             assert_eq!(serial, swept, "sweep with {workers} workers diverged");
         }
@@ -208,13 +318,17 @@ mod tests {
                 .with_cycles(6_000)
                 .with_seed(1),
         )
-        .run();
+        .unwrap()
+        .run()
+        .unwrap();
         let b = Simulator::build(
             &SimConfig::for_workload(w, PolicyKind::Icount)
                 .with_cycles(6_000)
                 .with_seed(2),
         )
-        .run();
+        .unwrap()
+        .run()
+        .unwrap();
         assert_ne!(a.total_committed(), b.total_committed());
     }
 
@@ -238,12 +352,32 @@ mod tests {
     fn step_accumulates() {
         let w = Workload::by_name("2W1").unwrap();
         let cfg = SimConfig::for_workload(w, PolicyKind::Icount).with_cycles(4_000);
-        let mut sim = Simulator::build(&cfg);
-        sim.step(2_000);
+        let mut sim = Simulator::build(&cfg).unwrap();
+        sim.step(2_000).unwrap();
         let early = sim.snapshot().total_committed();
-        sim.step(2_000);
+        sim.step(2_000).unwrap();
         let late = sim.snapshot().total_committed();
         assert!(late > early);
         assert_eq!(sim.now(), 4_000);
+    }
+
+    #[test]
+    fn healthy_runs_never_trip_a_tight_watchdog() {
+        // The longest legitimate stall is far below 5k cycles; a
+        // healthy run with a much tighter-than-default watchdog must
+        // complete and match the watchdog-off result byte-for-byte
+        // (the watchdog only observes, it never perturbs).
+        use crate::json::ToJson;
+        let w = Workload::by_name("4W1").unwrap();
+        let base = SimConfig::for_workload(w, PolicyKind::Mflush).with_cycles(20_000);
+        let strict = Simulator::build(&base.clone().with_watchdog(5_000))
+            .unwrap()
+            .run()
+            .unwrap();
+        let off = Simulator::build(&base.with_watchdog(0))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(strict.to_json(), off.to_json());
     }
 }

@@ -1,4 +1,4 @@
-//! Parallel experiment runner.
+//! Parallel, fault-tolerant experiment runner.
 //!
 //! Figure regeneration sweeps dozens of independent simulations
 //! (workload × policy × machine size). Each simulation is single-
@@ -6,10 +6,30 @@
 //! a `std::thread::scope` spawns one worker per host core, workers claim
 //! jobs from an atomic counter, and results land in their job's slot —
 //! deterministic output order regardless of scheduling.
+//!
+//! Fault tolerance (DESIGN.md §11):
+//!
+//! * each job runs under `catch_unwind` and is **retried once** on
+//!   panic; a second panic becomes `SimError::JobPanicked` in that
+//!   job's slot while every other job completes normally;
+//! * poisoned result slots are recovered, not re-panicked — one bad job
+//!   can't cascade into a confusing secondary panic at collection time;
+//! * [`run_sweep_journaled`] appends each finished job to a JSONL
+//!   journal and, on restart, replays recorded jobs instead of
+//!   re-running them. Because every raw field in our JSON is an
+//!   integer/bool/string, the replayed output is **byte-identical** to
+//!   an uninterrupted sweep — the `deterministic_across_sweep_workers`
+//!   guarantee extended across process boundaries.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::json::{parse_json, JsonObject, ToJson};
 use crate::result::SimResult;
 use crate::sim::Simulator;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -32,9 +52,61 @@ impl SweepJob {
     }
 }
 
+/// Outcome of one sweep job.
+pub type JobOutcome = Result<SimResult, SimError>;
+
+/// Lock a slot mutex, recovering from poison: a worker that panicked
+/// while holding the lock can't have left the `Option` half-written
+/// (the assignment is a single store), so the value is still good.
+fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Run one job with panic isolation: panics are caught and the job is
+/// retried once (transient panics — e.g. allocation failure — get a
+/// second chance; deterministic ones fail identically and are
+/// reported).
+fn run_job(job: &SweepJob) -> JobOutcome {
+    for attempt in 0..2 {
+        match catch_unwind(AssertUnwindSafe(|| {
+            Simulator::build(&job.config).and_then(|s| s.run())
+        })) {
+            Ok(outcome) => return outcome,
+            Err(payload) if attempt == 0 => drop(payload),
+            Err(payload) => {
+                let text = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                return Err(SimError::JobPanicked {
+                    label: job.label.clone(),
+                    payload: text,
+                });
+            }
+        }
+    }
+    unreachable!("loop returns on both attempts")
+}
+
 /// Run all jobs, `max_workers` at a time (0 = number of host CPUs).
-/// Results are returned in job order.
-pub fn run_sweep(jobs: &[SweepJob], max_workers: usize) -> Vec<(String, SimResult)> {
+/// Outcomes are returned in job order; a panicking or livelocked job
+/// yields an `Err` in its slot without disturbing the others.
+pub fn run_sweep(jobs: &[SweepJob], max_workers: usize) -> Vec<(String, JobOutcome)> {
+    run_sweep_journaled(jobs, max_workers, None)
+}
+
+/// [`run_sweep`] with an optional append-only journal. Jobs already
+/// recorded in the journal (matched by index, label and a fingerprint
+/// of the config) are replayed instead of re-run, so an interrupted
+/// sweep resumes where it stopped. Journal lines are self-describing
+/// and the reader skips anything malformed — a `kill -9` can at worst
+/// truncate the final line.
+pub fn run_sweep_journaled(
+    jobs: &[SweepJob],
+    max_workers: usize,
+    journal: Option<&Path>,
+) -> Vec<(String, JobOutcome)> {
     let workers = if max_workers == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -44,12 +116,26 @@ pub fn run_sweep(jobs: &[SweepJob], max_workers: usize) -> Vec<(String, SimResul
     }
     .min(jobs.len().max(1));
 
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<SimResult>>> =
+    let results: Vec<Mutex<Option<JobOutcome>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
 
-    // A scoped thread that panics propagates on join (end of scope), so
-    // a failing job aborts the sweep just as the crossbeam version did.
+    // Resume: pre-fill slots from the journal before any worker starts.
+    let mut journal_file: Option<Mutex<File>> = None;
+    if let Some(path) = journal {
+        for (i, outcome) in read_journal(path, jobs) {
+            *lock_recovering(&results[i]) = Some(outcome);
+        }
+        match OpenOptions::new().create(true).append(true).open(path) {
+            Ok(f) => journal_file = Some(Mutex::new(f)),
+            Err(e) => {
+                // A sweep that can't journal still produces results;
+                // it just won't be resumable.
+                eprintln!("warning: cannot open journal {}: {e}", path.display());
+            }
+        }
+    }
+
+    let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -57,8 +143,14 @@ pub fn run_sweep(jobs: &[SweepJob], max_workers: usize) -> Vec<(String, SimResul
                 if i >= jobs.len() {
                     break;
                 }
-                let result = Simulator::build(&jobs[i].config).run();
-                *results[i].lock().expect("result slot poisoned") = Some(result);
+                if lock_recovering(&results[i]).is_some() {
+                    continue; // replayed from the journal
+                }
+                let outcome = run_job(&jobs[i]);
+                if let Some(jf) = &journal_file {
+                    append_journal_line(jf, i, &jobs[i], &outcome);
+                }
+                *lock_recovering(&results[i]) = Some(outcome);
             });
         }
     });
@@ -66,14 +158,117 @@ pub fn run_sweep(jobs: &[SweepJob], max_workers: usize) -> Vec<(String, SimResul
     jobs.iter()
         .zip(results)
         .map(|(job, slot)| {
-            (
-                job.label.clone(),
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job produces a result"),
-            )
+            let outcome = slot
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .unwrap_or_else(|| {
+                    // Only reachable if a worker died between claiming
+                    // and storing — report it instead of panicking.
+                    Err(SimError::JobPanicked {
+                        label: job.label.clone(),
+                        payload: "job produced no result".to_string(),
+                    })
+                });
+            (job.label.clone(), outcome)
         })
         .collect()
+}
+
+/// [`run_sweep`] for callers that treat any job failure as fatal
+/// (figure harness, calibration): unwraps each outcome, panicking with
+/// the job label on the first error. Panicking here is deliberate —
+/// partial figures are worse than no figures.
+pub fn run_sweep_ok(jobs: &[SweepJob], max_workers: usize) -> Vec<(String, SimResult)> {
+    run_sweep(jobs, max_workers)
+        .into_iter()
+        .map(|(label, outcome)| match outcome {
+            Ok(r) => (label, r),
+            Err(e) => panic!("sweep job '{label}' failed: {e}"),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Journal format: one JSON object per line, append-only.
+//   {"job":3,"label":"...","cfg":"<fnv64 of config JSON>","ok":true,"result":{...}}
+//   {"job":4,"label":"...","cfg":"...","ok":false,"error":{...}}
+// Append order is completion order (workers finish out of order); the
+// final output is job-ordered regardless because entries carry their
+// index. The cfg fingerprint keeps a stale journal (edited sweep,
+// different cycles/seed) from polluting a new run.
+// ---------------------------------------------------------------------
+
+/// FNV-1a 64-bit, the journal's config fingerprint.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn config_fingerprint(cfg: &SimConfig) -> String {
+    format!("{:016x}", fnv64(cfg.to_json().as_bytes()))
+}
+
+fn append_journal_line(jf: &Mutex<File>, index: usize, job: &SweepJob, outcome: &JobOutcome) {
+    let mut line = String::new();
+    {
+        let mut o = JsonObject::begin(&mut line);
+        o.field("job", &index)
+            .field("label", &job.label)
+            .field("cfg", &config_fingerprint(&job.config));
+        match outcome {
+            Ok(r) => o.field("ok", &true).field("result", r),
+            Err(e) => o.field("ok", &false).field("error", e),
+        };
+        o.end();
+    }
+    line.push('\n');
+    let mut f = lock_recovering(jf);
+    // One write + flush per line keeps lines atomic enough for the
+    // crash model we care about (a killed process truncates the tail).
+    if let Err(e) = f.write_all(line.as_bytes()).and_then(|()| f.flush()) {
+        eprintln!("warning: journal write failed: {e}");
+    }
+}
+
+/// Parse a journal, returning `(job_index, outcome)` for every line
+/// that matches a job in this sweep. Malformed or stale lines are
+/// skipped silently — they are expected after a crash.
+fn read_journal(path: &Path, jobs: &[SweepJob]) -> Vec<(usize, JobOutcome)> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(_) => return Vec::new(), // fresh sweep: no journal yet
+    };
+    let mut entries = Vec::new();
+    for line in BufReader::new(file).lines() {
+        let Ok(line) = line else { break };
+        let Some(entry) = parse_journal_line(&line, jobs) else {
+            continue;
+        };
+        entries.push(entry);
+    }
+    entries
+}
+
+fn parse_journal_line(line: &str, jobs: &[SweepJob]) -> Option<(usize, JobOutcome)> {
+    let v = parse_json(line).ok()?;
+    let index = v.req_u64("job").ok()? as usize;
+    let job = jobs.get(index)?;
+    if v.req_str("label").ok()? != job.label {
+        return None;
+    }
+    if v.req_str("cfg").ok()? != config_fingerprint(&job.config) {
+        return None;
+    }
+    let outcome = if v.req_bool("ok").ok()? {
+        Ok(SimResult::from_json(v.get("result")?).ok()?)
+    } else {
+        Err(SimError::from_json(v.get("error")?).ok()?)
+    };
+    Some((index, outcome))
 }
 
 #[cfg(test)]
@@ -87,6 +282,12 @@ mod tests {
         SweepJob::new(label, SimConfig::for_workload(w, policy).with_cycles(3_000))
     }
 
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("smtsim-sweep-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
     #[test]
     fn results_in_job_order_with_labels() {
         let jobs = vec![
@@ -98,7 +299,7 @@ mod tests {
         let labels: Vec<&str> = out.iter().map(|(l, _)| l.as_str()).collect();
         assert_eq!(labels, vec!["a", "b", "c"]);
         for (_, r) in &out {
-            assert!(r.total_committed() > 0);
+            assert!(r.as_ref().unwrap().total_committed() > 0);
         }
     }
 
@@ -111,7 +312,10 @@ mod tests {
         let par = run_sweep(&jobs, 2);
         let ser = run_sweep(&jobs, 1);
         for ((_, a), (_, b)) in par.iter().zip(&ser) {
-            assert_eq!(a.total_committed(), b.total_committed());
+            assert_eq!(
+                a.as_ref().unwrap().total_committed(),
+                b.as_ref().unwrap().total_committed()
+            );
         }
     }
 
@@ -125,5 +329,150 @@ mod tests {
     #[test]
     fn empty_sweep_is_empty() {
         assert!(run_sweep(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn invalid_job_fails_alone() {
+        let mut bad = job("bad", "2W2", PolicyKind::Icount);
+        bad.config.cycles = 0;
+        let jobs = vec![job("good1", "2W1", PolicyKind::Icount), bad, job(
+            "good2",
+            "2W3",
+            PolicyKind::Icount,
+        )];
+        let out = run_sweep(&jobs, 2);
+        assert!(out[0].1.is_ok());
+        assert!(matches!(out[1].1, Err(SimError::InvalidConfig(_))));
+        assert!(out[2].1.is_ok());
+        // The healthy jobs are unaffected by their failed neighbour.
+        let clean = run_sweep(&[jobs[0].clone(), jobs[2].clone()], 2);
+        assert_eq!(
+            out[0].1.as_ref().unwrap().to_json(),
+            clean[0].1.as_ref().unwrap().to_json()
+        );
+        assert_eq!(
+            out[2].1.as_ref().unwrap().to_json(),
+            clean[1].1.as_ref().unwrap().to_json()
+        );
+    }
+
+    #[test]
+    fn run_sweep_ok_unwraps_successes() {
+        let jobs = vec![job("a", "2W1", PolicyKind::Icount)];
+        let out = run_sweep_ok(&jobs, 1);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1.total_committed() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep job 'bad' failed")]
+    fn run_sweep_ok_panics_on_failure() {
+        let mut bad = job("bad", "2W1", PolicyKind::Icount);
+        bad.config.cycles = 0;
+        let _ = run_sweep_ok(&[bad], 1);
+    }
+
+    #[test]
+    fn journaled_sweep_is_byte_identical_to_plain() {
+        let jobs = vec![
+            job("a", "2W1", PolicyKind::Icount),
+            job("b", "2W2", PolicyKind::Mflush),
+        ];
+        let plain: Vec<String> = run_sweep(&jobs, 2)
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().to_json())
+            .collect();
+        let path = temp_path("fresh.jsonl");
+        let journaled: Vec<String> = run_sweep_journaled(&jobs, 2, Some(&path))
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().to_json())
+            .collect();
+        assert_eq!(plain, journaled);
+        // Second run replays everything from the journal and must still
+        // be byte-identical.
+        let replayed: Vec<String> = run_sweep_journaled(&jobs, 2, Some(&path))
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().to_json())
+            .collect();
+        assert_eq!(plain, replayed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn partial_journal_resumes_remaining_jobs() {
+        let jobs = vec![
+            job("a", "2W1", PolicyKind::Icount),
+            job("b", "2W2", PolicyKind::Mflush),
+            job("c", "2W3", PolicyKind::FlushSpec(30)),
+        ];
+        let path = temp_path("partial.jsonl");
+        // Record only job 1, then simulate a crash plus a torn final
+        // line (the realistic kill -9 artifact).
+        {
+            let full = run_sweep_journaled(&jobs, 1, Some(&path));
+            assert!(full.iter().all(|(_, r)| r.is_ok()));
+            let text = std::fs::read_to_string(&path).unwrap();
+            let mut lines: Vec<&str> = text.lines().collect();
+            assert_eq!(lines.len(), 3);
+            lines.remove(0); // job "a" was never journaled
+            let torn = format!("{}\n{}\n{}", lines[0], lines[1], &lines[1][..lines[1].len() / 2]);
+            std::fs::write(&path, torn).unwrap();
+        }
+        let resumed: Vec<String> = run_sweep_journaled(&jobs, 2, Some(&path))
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().to_json())
+            .collect();
+        let fresh: Vec<String> = run_sweep(&jobs, 1)
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().to_json())
+            .collect();
+        assert_eq!(resumed, fresh, "resume must be byte-identical");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_journal_entries_are_ignored() {
+        let jobs = vec![job("a", "2W1", PolicyKind::Icount)];
+        let path = temp_path("stale.jsonl");
+        {
+            let _ = run_sweep_journaled(&jobs, 1, Some(&path));
+        }
+        // Same label, different config → fingerprint mismatch → re-run.
+        let mut changed = jobs.clone();
+        changed[0].config = changed[0].config.clone().with_seed(999);
+        let out = run_sweep_journaled(&changed, 1, Some(&path));
+        let direct = run_sweep(&changed, 1);
+        assert_eq!(
+            out[0].1.as_ref().unwrap().to_json(),
+            direct[0].1.as_ref().unwrap().to_json()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_replays_recorded_errors() {
+        let mut bad = job("bad", "2W1", PolicyKind::Icount);
+        bad.config.cycles = 0;
+        let jobs = vec![bad];
+        let path = temp_path("errors.jsonl");
+        let first = run_sweep_journaled(&jobs, 1, Some(&path));
+        let second = run_sweep_journaled(&jobs, 1, Some(&path));
+        assert_eq!(
+            first[0].1.as_ref().unwrap_err(),
+            second[0].1.as_ref().unwrap_err()
+        );
+        assert!(matches!(second[0].1, Err(SimError::InvalidConfig(_))));
+        // Only the first run wrote a line; the replay appended nothing.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fnv_fingerprint_is_stable() {
+        // Pinned so journals survive recompilation: this is a file
+        // format, not an implementation detail.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
     }
 }

@@ -13,7 +13,7 @@ use crate::bpred::PerceptronPredictor;
 use crate::btb::Btb;
 use crate::regfile::RegFile;
 use crate::rob::{InstrState, QueueKind, RobEntry};
-use crate::stats::{CoreStats, ThreadStats};
+use crate::stats::{CoreStats, ThreadProbe, ThreadStats};
 use crate::thread::{FetchGate, FrontendEntry, ThreadCtx, ThreadProgram, WrongPathMode};
 use smtsim_energy::{PipelineStage, SquashCause};
 use smtsim_mem::addr::{bank_of, line_base};
@@ -1051,5 +1051,23 @@ impl SmtCore {
     /// Total committed instructions.
     pub fn total_committed(&self) -> u64 {
         self.threads.iter().map(|t| t.committed).sum()
+    }
+
+    /// Structured per-thread pipeline snapshots (the machine-readable
+    /// counterpart of [`Self::debug_state`], consumed by the driver's
+    /// forward-progress watchdog diagnostics).
+    pub fn thread_snapshots(&self) -> Vec<ThreadProbe> {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| ThreadProbe {
+                tid: tid as u32,
+                gate: format!("{:?}", t.gate),
+                frontend: t.frontend.len() as u32,
+                rob: t.rob.len() as u32,
+                icache_wait: t.icache_wait.is_some(),
+                committed: t.committed,
+            })
+            .collect()
     }
 }

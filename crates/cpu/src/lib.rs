@@ -68,4 +68,4 @@ pub use btb::Btb;
 pub use config::CoreConfig;
 pub use core::SmtCore;
 pub use ras::ReturnAddressStack;
-pub use stats::{CoreStats, ThreadStats};
+pub use stats::{CoreStats, ThreadProbe, ThreadStats};

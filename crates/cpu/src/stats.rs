@@ -34,6 +34,27 @@ impl ThreadStats {
     }
 }
 
+/// Point-in-time view of one hardware thread's pipeline state, taken
+/// by the forward-progress watchdog when it aborts a livelocked run.
+/// Unlike [`ThreadStats`] (cumulative counters), this captures *where*
+/// the thread is stuck right now.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadProbe {
+    /// Hardware thread id within the core.
+    pub tid: u32,
+    /// Fetch-gate state rendered as text (`"Open"`,
+    /// `"PolicyStall"`, `"Flushed { offender: .. }"`).
+    pub gate: String,
+    /// Instructions waiting in the frontend buffer.
+    pub frontend: u32,
+    /// ROB occupancy.
+    pub rob: u32,
+    /// Whether fetch is blocked on an outstanding I-cache miss.
+    pub icache_wait: bool,
+    /// Instructions committed so far.
+    pub committed: u64,
+}
+
 /// Per-core statistics snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct CoreStats {

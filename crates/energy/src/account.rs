@@ -36,6 +36,16 @@ impl EnergyAccount {
         Self::default()
     }
 
+    /// Reconstruct a ledger from serialized parts (the sweep journal's
+    /// decoder).
+    pub fn from_parts(committed: u64, flush_squashed: [u64; 8], branch_squashed: [u64; 8]) -> Self {
+        EnergyAccount {
+            committed,
+            flush_squashed,
+            branch_squashed,
+        }
+    }
+
     /// Record one committed instruction (1 energy unit of useful work).
     #[inline]
     pub fn commit(&mut self) {

@@ -1,0 +1,120 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! A [`FaultPlan`] rides on [`crate::MemConfig`] and arms up to three
+//! failure modes at configured cycles:
+//!
+//! * **swallow DRAM responses** — main-memory returns are dropped, so
+//!   the MSHR entries waiting on them leak and the machine livelocks
+//!   once every thread is blocked on a lost line;
+//! * **pin an L2 bank busy** — the bank stops ticking, so every request
+//!   routed to it queues forever;
+//! * **exhaust a core's MSHRs** — every L1 miss on that core reports
+//!   `MshrFull`, starving it of new memory parallelism.
+//!
+//! Faults are pure functions of the simulated cycle — no randomness, no
+//! wall clock — so a faulted run is as reproducible as a healthy one.
+//! They exist to *prove* the driver's forward-progress watchdog fires
+//! with the right diagnosis; nothing in the production figure path arms
+//! them.
+
+/// Deterministic fault schedule for one [`crate::MemorySystem`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Swallow every DRAM response from this cycle on (`u64::MAX` =
+    /// never).
+    pub drop_dram_from: u64,
+    /// Pin this global bank index busy…
+    pub pin_bank: Option<u32>,
+    /// …from this cycle on.
+    pub pin_bank_from: u64,
+    /// Report `MshrFull` for every L1 miss of this core…
+    pub mshr_exhaust_core: Option<u32>,
+    /// …from this cycle on.
+    pub mshr_exhaust_from: u64,
+}
+
+impl FaultPlan {
+    /// No faults — the production configuration.
+    pub fn none() -> Self {
+        FaultPlan {
+            drop_dram_from: u64::MAX,
+            pin_bank: None,
+            pin_bank_from: 0,
+            mshr_exhaust_core: None,
+            mshr_exhaust_from: 0,
+        }
+    }
+
+    /// True when no fault can ever trigger.
+    pub fn is_none(&self) -> bool {
+        self.drop_dram_from == u64::MAX
+            && self.pin_bank.is_none()
+            && self.mshr_exhaust_core.is_none()
+    }
+
+    /// Swallow DRAM responses from `cycle` on.
+    pub fn dropping_dram_from(mut self, cycle: u64) -> Self {
+        self.drop_dram_from = cycle;
+        self
+    }
+
+    /// Pin global bank `bank` busy from `cycle` on.
+    pub fn pinning_bank_from(mut self, bank: u32, cycle: u64) -> Self {
+        self.pin_bank = Some(bank);
+        self.pin_bank_from = cycle;
+        self
+    }
+
+    /// Exhaust core `core`'s MSHR file from `cycle` on.
+    pub fn exhausting_mshr_from(mut self, core: u32, cycle: u64) -> Self {
+        self.mshr_exhaust_core = Some(core);
+        self.mshr_exhaust_from = cycle;
+        self
+    }
+
+    /// Should the DRAM response at `now` be swallowed?
+    pub fn drops_dram(&self, now: u64) -> bool {
+        now >= self.drop_dram_from
+    }
+
+    /// Is global bank `bank` pinned busy at `now`?
+    pub fn pins_bank(&self, bank: u32, now: u64) -> bool {
+        self.pin_bank == Some(bank) && now >= self.pin_bank_from
+    }
+
+    /// Is core `core`'s MSHR file force-exhausted at `now`?
+    pub fn exhausts_mshr(&self, core: u32, now: u64) -> bool {
+        self.mshr_exhaust_core == Some(core) && now >= self.mshr_exhaust_from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(!p.drops_dram(u64::MAX - 1));
+        assert!(!p.pins_bank(0, u64::MAX));
+        assert!(!p.exhausts_mshr(0, u64::MAX));
+    }
+
+    #[test]
+    fn faults_arm_at_their_cycle() {
+        let p = FaultPlan::none()
+            .dropping_dram_from(100)
+            .pinning_bank_from(2, 200)
+            .exhausting_mshr_from(1, 300);
+        assert!(!p.is_none());
+        assert!(!p.drops_dram(99));
+        assert!(p.drops_dram(100));
+        assert!(!p.pins_bank(2, 199));
+        assert!(p.pins_bank(2, 200));
+        assert!(!p.pins_bank(3, 200), "only the named bank is pinned");
+        assert!(!p.exhausts_mshr(1, 299));
+        assert!(p.exhausts_mshr(1, 300));
+        assert!(!p.exhausts_mshr(0, 300), "only the named core is starved");
+    }
+}

@@ -38,6 +38,30 @@ impl LatencyHistogram {
         Self::new(5, 40)
     }
 
+    /// Reconstruct a histogram from serialized parts (the sweep
+    /// journal's decoder). `min`/`max` are `None` for an empty
+    /// histogram, mirroring [`LatencyHistogram::min`]/[`max`](Self::max).
+    pub fn from_parts(
+        bin_width: u64,
+        bins: Vec<u64>,
+        overflow: u64,
+        count: u64,
+        sum: u64,
+        min: Option<u64>,
+        max: Option<u64>,
+    ) -> Self {
+        assert!(bin_width > 0 && !bins.is_empty());
+        LatencyHistogram {
+            bin_width,
+            bins,
+            overflow,
+            count,
+            sum,
+            min: min.unwrap_or(u64::MAX),
+            max: max.unwrap_or(0),
+        }
+    }
+
     /// Record one latency sample.
     pub fn record(&mut self, latency: u64) {
         self.count += 1;

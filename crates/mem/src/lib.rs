@@ -50,6 +50,7 @@ pub mod addr;
 pub mod bus;
 pub mod cache;
 pub mod dram;
+pub mod fault;
 pub mod histogram;
 pub mod l2bank;
 pub mod mshr;
@@ -58,6 +59,7 @@ pub mod tlb;
 pub mod util;
 
 pub use cache::{AccessOutcome, CacheGeometry, ReplacementPolicy, SetAssocCache};
+pub use fault::FaultPlan;
 pub use histogram::LatencyHistogram;
 pub use system::{
     AccessKind, AccessResult, Completion, CoreMemStats, MemConfig, MemEvent, MemStats,

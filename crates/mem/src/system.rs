@@ -8,6 +8,7 @@
 //! non-speculative FLUSH policy needs).
 
 use crate::addr::{bank_of, l1_bank_of, line_base, LINE_BYTES};
+use crate::fault::FaultPlan;
 
 /// Local alias keeping arithmetic sites terse.
 const LINE_BYTES_U64: u64 = LINE_BYTES;
@@ -133,6 +134,9 @@ pub struct MemConfig {
     /// evenly across clusters, each cluster gets its own bus and its
     /// own `l2_banks` banks, and the total L2 capacity is split evenly.
     pub l2_clusters: u32,
+    /// Deterministic fault-injection schedule ([`FaultPlan::none`] in
+    /// every production configuration; armed only by robustness tests).
+    pub faults: FaultPlan,
 }
 
 impl MemConfig {
@@ -165,6 +169,7 @@ impl MemConfig {
             dram_max_inflight: 0,
             next_line_prefetch: false,
             l2_clusters: 1,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -226,6 +231,22 @@ impl MemConfig {
         }
         .validate()
         .map_err(|e| format!("l2 bank: {e}"))?;
+        if let Some(bank) = self.faults.pin_bank {
+            if bank >= self.l2_clusters * self.l2_banks {
+                return Err(format!(
+                    "fault plan pins bank {bank} but only {} exist",
+                    self.l2_clusters * self.l2_banks
+                ));
+            }
+        }
+        if let Some(core) = self.faults.mshr_exhaust_core {
+            if core >= self.num_cores {
+                return Err(format!(
+                    "fault plan exhausts MSHRs of core {core} but only {} exist",
+                    self.num_cores
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -552,6 +573,10 @@ impl MemorySystem {
                 AccessKind::Store => s.store_l1_misses += 1,
             }
         }
+        if self.cfg.faults.exhausts_mshr(core, now) {
+            self.cores[cidx].stats.mshr_full_stalls += 1;
+            return AccessResult::MshrFull;
+        }
         let req = self.inflight.insert(InFlight {
             core,
             kind,
@@ -637,6 +662,9 @@ impl MemorySystem {
         // 3. Banks. Completions report the cluster-local bank id (what
         // a core's MCReg file indexes by).
         for b in 0..self.banks.len() {
+            if self.cfg.faults.pins_bank(b as u32, now) {
+                continue;
+            }
             let local_bank = (b % self.cfg.l2_banks as usize) as u32;
             if let Some((token, outcome, _enq)) = self.banks[b].tick(now) {
                 match (token, outcome) {
@@ -686,6 +714,12 @@ impl MemorySystem {
 
         // 4. Main memory returns.
         for token in self.dram.tick(now) {
+            if self.cfg.faults.drops_dram(now) {
+                // Swallow the response: the MSHR entry waiting on it
+                // leaks deliberately, which is exactly the livelock the
+                // watchdog must diagnose.
+                continue;
+            }
             match token {
                 DramToken::Demand(req) => {
                     let (bank, line, core) = match self.inflight.get(req) {
@@ -1291,5 +1325,84 @@ mod tests {
             m.drain_completions(1);
         }
         assert_eq!(m.inflight_count(), 0);
+    }
+
+    // ------------------------------------------------------------
+    // Fault injection (the robustness suite's livelock triggers)
+    // ------------------------------------------------------------
+
+    #[test]
+    fn dropped_dram_responses_leak_inflight_requests() {
+        let mut cfg = MemConfig::paper(1);
+        cfg.faults = FaultPlan::none().dropping_dram_from(0);
+        cfg.validate().unwrap();
+        let mut m = MemorySystem::new(cfg);
+        let req = match m.access(0, AccessKind::Load, 0x5000, 0) {
+            AccessResult::Miss { req, .. } => req,
+            other => panic!("expected cold miss, got {other:?}"),
+        };
+        for now in 1..5_000 {
+            m.tick(now);
+            assert!(
+                !m.drain_completions(0).iter().any(|c| c.req == req),
+                "swallowed DRAM response must never complete"
+            );
+        }
+        assert!(m.inflight_count() > 0, "the request leaks by design");
+        assert_eq!(m.total_completions(), 0);
+    }
+
+    #[test]
+    fn dram_drops_only_arm_at_their_cycle() {
+        let mut cfg = MemConfig::paper(1);
+        cfg.faults = FaultPlan::none().dropping_dram_from(10_000);
+        let mut m = MemorySystem::new(cfg);
+        let req = match m.access(0, AccessKind::Load, 0x5000, 0) {
+            AccessResult::Miss { req, .. } => req,
+            other => panic!("{other:?}"),
+        };
+        // Well before the arm cycle: identical to the fault-free path.
+        let (c, _) = run_until_complete(&mut m, 0, req, 0);
+        assert_eq!(c.latency(), 572, "unarmed fault must not perturb timing");
+    }
+
+    #[test]
+    fn pinned_bank_starves_its_queue() {
+        let mut cfg = MemConfig::paper(1);
+        cfg.l2_banks = 1; // every L2 access funnels into the pinned bank
+        cfg.faults = FaultPlan::none().pinning_bank_from(0, 0);
+        cfg.validate().unwrap();
+        let mut m = MemorySystem::new(cfg);
+        match m.access(0, AccessKind::Load, 0x5000, 0) {
+            AccessResult::Miss { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        for now in 1..5_000 {
+            m.tick(now);
+            assert!(
+                m.drain_completions(0).is_empty(),
+                "a permanently busy bank must never serve its queue"
+            );
+        }
+        assert!(m.inflight_count() > 0);
+    }
+
+    #[test]
+    fn exhausted_mshr_rejects_new_misses() {
+        let mut cfg = MemConfig::paper(2);
+        cfg.faults = FaultPlan::none().exhausting_mshr_from(0, 0);
+        cfg.validate().unwrap();
+        let mut m = MemorySystem::new(cfg);
+        // Core 0 is saturated from cycle 0...
+        match m.access(0, AccessKind::Load, 0x5000, 0) {
+            AccessResult::MshrFull => {}
+            other => panic!("expected MshrFull, got {other:?}"),
+        }
+        assert_eq!(m.stats().cores[0].mshr_full_stalls, 1);
+        // ...while core 1 is untouched.
+        match m.access(1, AccessKind::Load, 0x5000, 0) {
+            AccessResult::Miss { .. } => {}
+            other => panic!("core 1 must be unaffected, got {other:?}"),
+        }
     }
 }

@@ -57,5 +57,5 @@ pub use instr::{DynInstr, InstrClass, LogReg, UncondKind, NUM_LOG_REGS};
 pub use memstream::{MemRegion, MemStream};
 pub use profile::{BenchProfile, InstrMix, MemProfile, Suite};
 pub use rng::{SplitMix64, Xoshiro256pp};
-pub use serialize::{TraceReader, TraceWriter};
+pub use serialize::{TraceError, TraceReader, TraceWriter};
 pub use stream::{InstrStream, ReplayableStream};

@@ -6,16 +6,78 @@
 //! a trace to disk is still useful for debugging, for sharing repro
 //! cases, and for replaying a stream without paying generation cost.
 //!
-//! Format: a 16-byte header (`magic`, `version`, instruction count)
-//! followed by fixed-size 40-byte little-endian records.
+//! Format (version 2): a 16-byte header (`magic`, `version`, 8 reserved
+//! zero bytes) followed by fixed-size 40-byte little-endian records.
+//! The last two bytes of each record hold an additive-mod-2^16 checksum
+//! of the preceding 38 bytes, which provably detects every single-bit
+//! flip in a record (flipping bit `b` of any payload byte changes the
+//! sum by ±2^b ≠ 0 mod 2^16, and a flip in the checksum bytes leaves
+//! the recomputed sum unchanged). Corruption — a failed checksum, an
+//! out-of-range field, a damaged header, or a mid-record truncation —
+//! surfaces as [`TraceError::Corrupt`] with the byte offset; it never
+//! panics. A truncation at an exact record boundary is indistinguishable
+//! from a shorter capture by design: this is a streaming format and the
+//! header carries no trusted length.
 
 use crate::instr::{DynInstr, InstrClass, UncondKind};
 use crate::stream::InstrStream;
+use std::fmt;
 use std::io::{self, Read, Write};
 
 const MAGIC: u32 = 0x4d46_5452; // "MFTR"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const HEADER_BYTES: usize = 16;
 const RECORD_BYTES: usize = 40;
+/// Bytes covered by the per-record checksum (everything before it).
+const CHECKED_BYTES: usize = 38;
+
+/// Why a trace could not be read.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying reader/writer failed.
+    Io(io::Error),
+    /// The byte stream is not a valid trace: bad header, failed record
+    /// checksum, out-of-range field, or mid-record truncation.
+    Corrupt {
+        /// Byte offset of the damaged header field or record start.
+        offset: u64,
+        /// Human-readable description of the damage.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Corrupt { offset, detail } => {
+                write!(f, "corrupt trace at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn corrupt(offset: u64, detail: impl Into<String>) -> TraceError {
+    TraceError::Corrupt {
+        offset,
+        detail: detail.into(),
+    }
+}
 
 fn class_to_u8(c: InstrClass) -> u8 {
     match c {
@@ -32,7 +94,7 @@ fn class_to_u8(c: InstrClass) -> u8 {
     }
 }
 
-fn class_from_u8(b: u8) -> io::Result<InstrClass> {
+fn class_from_u8(b: u8, offset: u64) -> Result<InstrClass, TraceError> {
     Ok(match b {
         0 => InstrClass::IntAlu,
         1 => InstrClass::IntMul,
@@ -44,13 +106,15 @@ fn class_from_u8(b: u8) -> io::Result<InstrClass> {
         7 => InstrClass::BranchCond,
         8 => InstrClass::BranchUncond,
         9 => InstrClass::Nop,
-        _ => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad instruction class byte {b}"),
-            ))
-        }
+        _ => return Err(corrupt(offset, format!("bad instruction class byte {b}"))),
     })
+}
+
+/// Additive checksum of a record's payload bytes.
+fn record_checksum(buf: &[u8; RECORD_BYTES]) -> u16 {
+    buf[..CHECKED_BYTES]
+        .iter()
+        .fold(0u16, |acc, &b| acc.wrapping_add(b as u16))
 }
 
 /// Encode one instruction into a fixed-size record.
@@ -69,25 +133,41 @@ fn encode(i: &DynInstr, buf: &mut [u8; RECORD_BYTES]) {
         UncondKind::Call => 1,
         UncondKind::Ret => 2,
     };
-    buf[38..40].copy_from_slice(&[0, 0]);
+    let sum = record_checksum(buf);
+    buf[38..40].copy_from_slice(&sum.to_le_bytes());
 }
 
-/// Decode one fixed-size record.
-fn decode(buf: &[u8; RECORD_BYTES]) -> io::Result<DynInstr> {
+/// Decode one fixed-size record starting at byte `offset` of the
+/// stream. Checks the checksum first so that field validation only ever
+/// sees bytes the writer produced.
+fn decode(buf: &[u8; RECORD_BYTES], offset: u64) -> Result<DynInstr, TraceError> {
+    let stored = u16::from_le_bytes([buf[38], buf[39]]);
+    let computed = record_checksum(buf);
+    if stored != computed {
+        return Err(corrupt(
+            offset,
+            format!("record checksum mismatch (stored {stored:#06x}, computed {computed:#06x})"),
+        ));
+    }
     let reg = |b: u8| if b == 0 { None } else { Some(b - 1) };
     Ok(DynInstr {
-        seq: u64::from_le_bytes(buf[..8].try_into().unwrap()),
-        pc: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
-        mem_addr: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
-        target: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
-        class: class_from_u8(buf[32])?,
+        seq: u64::from_le_bytes(buf[..8].try_into().expect("8-byte slice")),
+        pc: u64::from_le_bytes(buf[8..16].try_into().expect("8-byte slice")),
+        mem_addr: u64::from_le_bytes(buf[16..24].try_into().expect("8-byte slice")),
+        target: u64::from_le_bytes(buf[24..32].try_into().expect("8-byte slice")),
+        class: class_from_u8(buf[32], offset)?,
         srcs: [reg(buf[33]), reg(buf[34])],
         dst: reg(buf[35]),
-        taken: buf[36] != 0,
+        taken: match buf[36] {
+            0 => false,
+            1 => true,
+            b => return Err(corrupt(offset, format!("bad taken byte {b}"))),
+        },
         uncond_kind: match buf[37] {
+            0 => UncondKind::Jump,
             1 => UncondKind::Call,
             2 => UncondKind::Ret,
-            _ => UncondKind::Jump,
+            b => return Err(corrupt(offset, format!("bad uncond-kind byte {b}"))),
         },
     })
 }
@@ -99,10 +179,9 @@ pub struct TraceWriter<W: Write> {
 }
 
 impl<W: Write> TraceWriter<W> {
-    /// Create a writer and emit the header (count patched by
-    /// [`TraceWriter::finish`] is not supported on plain streams, so the
-    /// header stores 0 and readers simply read to EOF; the count field
-    /// is advisory).
+    /// Create a writer and emit the header. The 8 bytes after the
+    /// version are reserved and written as zero (readers reject
+    /// anything else, which catches bit flips in the header tail).
     pub fn new(mut out: W) -> io::Result<Self> {
         out.write_all(&MAGIC.to_le_bytes())?;
         out.write_all(&VERSION.to_le_bytes())?;
@@ -148,38 +227,62 @@ pub struct TraceReader<R: Read> {
 
 impl<R: Read> TraceReader<R> {
     /// Open a trace, validating the header.
-    pub fn new(mut input: R) -> io::Result<Self> {
-        let mut hdr = [0u8; 16];
-        input.read_exact(&mut hdr)?;
-        let magic = u32::from_le_bytes(hdr[..4].try_into().unwrap());
-        let version = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let mut hdr = [0u8; HEADER_BYTES];
+        match input.read_exact(&mut hdr) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(corrupt(0, "truncated header"));
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let magic = u32::from_le_bytes(hdr[..4].try_into().expect("4-byte slice"));
+        let version = u32::from_le_bytes(hdr[4..8].try_into().expect("4-byte slice"));
         if magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+            return Err(corrupt(0, format!("bad magic {magic:#010x}")));
         }
         if version != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported trace version {version}"),
-            ));
+            return Err(corrupt(4, format!("unsupported trace version {version}")));
+        }
+        if hdr[8..16] != [0u8; 8] {
+            return Err(corrupt(8, "reserved header bytes are not zero"));
         }
         Ok(TraceReader { input, read: 0 })
     }
 
-    /// Read the next instruction; `None` at end of trace.
-    pub fn read_instr(&mut self) -> io::Result<Option<DynInstr>> {
+    /// Byte offset where the next record starts.
+    fn offset(&self) -> u64 {
+        HEADER_BYTES as u64 + self.read * RECORD_BYTES as u64
+    }
+
+    /// Read the next instruction; `None` at end of trace. A stream that
+    /// ends *inside* a record is corrupt, not merely finished.
+    pub fn read_instr(&mut self) -> Result<Option<DynInstr>, TraceError> {
+        let offset = self.offset();
         let mut buf = [0u8; RECORD_BYTES];
-        match self.input.read_exact(&mut buf) {
-            Ok(()) => {
-                self.read += 1;
-                decode(&buf).map(Some)
+        // Probe one byte first: EOF exactly at a record boundary is the
+        // normal end of the trace, EOF anywhere later is a truncation.
+        match self.input.read(&mut buf[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                return self.read_instr();
             }
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
-            Err(e) => Err(e),
+            Err(e) => return Err(e.into()),
         }
+        match self.input.read_exact(&mut buf[1..]) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(corrupt(offset, "truncated record"));
+            }
+            Err(e) => return Err(e.into()),
+        }
+        self.read += 1;
+        decode(&buf, offset).map(Some)
     }
 
     /// Read the whole trace into memory.
-    pub fn read_all(mut self) -> io::Result<Vec<DynInstr>> {
+    pub fn read_all(mut self) -> Result<Vec<DynInstr>, TraceError> {
         let mut v = Vec::new();
         while let Some(i) = self.read_instr()? {
             v.push(i);
@@ -269,17 +372,77 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let bytes = [0u8; 64];
-        assert!(TraceReader::new(&bytes[..]).is_err());
+        assert!(matches!(
+            TraceReader::new(&bytes[..]),
+            Err(TraceError::Corrupt { offset: 0, .. })
+        ));
     }
 
     #[test]
-    fn bad_class_byte_rejected() {
+    fn old_version_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            TraceReader::new(&bytes[..]),
+            Err(TraceError::Corrupt { offset: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn nonzero_reserved_header_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        assert!(matches!(
+            TraceReader::new(&bytes[..]),
+            Err(TraceError::Corrupt { offset: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_class_byte_rejected_via_checksum() {
         let mut w = TraceWriter::new(Vec::new()).unwrap();
         w.write_instr(&DynInstr::nop(0, 0x1000)).unwrap();
         let mut bytes = w.finish().unwrap();
         bytes[16 + 32] = 200; // corrupt the class byte
         let mut r = TraceReader::new(&bytes[..]).unwrap();
-        assert!(r.read_instr().is_err());
+        // The checksum catches the damage before field validation runs.
+        assert!(matches!(
+            r.read_instr(),
+            Err(TraceError::Corrupt { offset: 16, .. })
+        ));
+    }
+
+    #[test]
+    fn mid_record_truncation_rejected() {
+        let mut g = TraceGenerator::new(spec::benchmark_by_name("gzip").unwrap(), 9);
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        w.capture(&mut g, 3).unwrap();
+        let bytes = w.finish().unwrap();
+        let cut = &bytes[..bytes.len() - 17]; // inside the 3rd record
+        let mut r = TraceReader::new(cut).unwrap();
+        assert!(r.read_instr().unwrap().is_some());
+        assert!(r.read_instr().unwrap().is_some());
+        assert!(matches!(
+            r.read_instr(),
+            Err(TraceError::Corrupt { offset, .. }) if offset == 16 + 2 * 40
+        ));
+    }
+
+    #[test]
+    fn record_boundary_truncation_reads_short() {
+        // Documented leniency: a cut at an exact record boundary looks
+        // like a shorter capture (streaming format, no trusted length).
+        let mut g = TraceGenerator::new(spec::benchmark_by_name("gzip").unwrap(), 9);
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        w.capture(&mut g, 3).unwrap();
+        let bytes = w.finish().unwrap();
+        let cut = &bytes[..16 + 2 * RECORD_BYTES];
+        let r = TraceReader::new(cut).unwrap();
+        assert_eq!(r.read_all().unwrap().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Corruption-robustness properties of the trace serialisation format,
+//! on the in-repo harness (`smtsim_trace::check`).
+//!
+//! Invariant under test: feeding the reader a *damaged* byte stream —
+//! truncated anywhere, or with any single bit flipped — returns
+//! `Err(TraceError::Corrupt)` or a clean short read; it never panics
+//! and never silently yields an instruction the writer didn't encode.
+
+use smtsim_trace::check::{Cases, Gen};
+use smtsim_trace::{spec, DynInstr, TraceGenerator, TraceReader, TraceWriter};
+
+const HEADER_BYTES: usize = 16;
+const RECORD_BYTES: usize = 40;
+
+/// Capture a small random trace to an in-memory buffer.
+fn capture(g: &mut Gen) -> (Vec<u8>, Vec<DynInstr>) {
+    let profile = g.choose(&spec::ALL_BENCHMARKS);
+    let seed = g.u64_in(0..1_000_000);
+    let n = g.u64_in(1..30);
+    let mut gen = TraceGenerator::new(profile, seed);
+    let mut w = TraceWriter::new(Vec::new()).unwrap();
+    w.capture(&mut gen, n).unwrap();
+    let bytes = w.finish().unwrap();
+    let instrs = TraceReader::new(&bytes[..]).unwrap().read_all().unwrap();
+    assert_eq!(instrs.len() as u64, n);
+    (bytes, instrs)
+}
+
+/// Decode as far as the stream allows; `Ok` carries the prefix read.
+fn read_back(bytes: &[u8]) -> Result<Vec<DynInstr>, smtsim_trace::TraceError> {
+    TraceReader::new(bytes)?.read_all()
+}
+
+/// Truncating a capture anywhere is either detected (`Err`) or a clean
+/// prefix read (only possible at exact record boundaries) — never a
+/// panic, never an invented instruction.
+#[test]
+fn truncation_never_panics_or_invents_records() {
+    Cases::new(40).run("truncation_never_panics_or_invents_records", |g| {
+        let (bytes, instrs) = capture(g);
+        let cut = g.usize_in(0..bytes.len());
+        match read_back(&bytes[..cut]) {
+            Err(_) => {} // detected: truncated header or torn record
+            Ok(prefix) => {
+                // Only an exact record boundary may read "cleanly".
+                assert!(
+                    cut >= HEADER_BYTES && (cut - HEADER_BYTES).is_multiple_of(RECORD_BYTES),
+                    "clean read from a mid-record cut at byte {cut}"
+                );
+                let n = (cut - HEADER_BYTES) / RECORD_BYTES;
+                assert_eq!(prefix, instrs[..n], "prefix must match the original");
+            }
+        }
+    });
+}
+
+/// Any single-bit flip in the header or a record body is rejected; a
+/// flip confined to a record's checksum bytes is equally rejected. The
+/// reader must stop with `Corrupt` at or before the damaged record —
+/// every record it *does* return must match the original capture.
+#[test]
+fn single_bit_flips_are_detected() {
+    Cases::new(60).run("single_bit_flips_are_detected", |g| {
+        let (mut bytes, instrs) = capture(g);
+        let byte = g.usize_in(0..bytes.len());
+        let bit = g.usize_in(0..8);
+        bytes[byte] ^= 1 << bit;
+        match read_back(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => {
+                // The reserved header bytes are the only cover a flip
+                // cannot hide under; everything else is checksummed.
+                panic!(
+                    "flip of bit {bit} at byte {byte} went undetected \
+                     ({} records decoded, {} written)",
+                    decoded.len(),
+                    instrs.len()
+                );
+            }
+        }
+    });
+}
+
+/// The reader never yields damaged data even when it fails late: all
+/// records returned before the error must be byte-identical to the
+/// writer's input.
+#[test]
+fn prefix_before_detected_corruption_is_exact() {
+    Cases::new(40).run("prefix_before_detected_corruption_is_exact", |g| {
+        let (mut bytes, instrs) = capture(g);
+        // Flip one bit inside some record body (never the header), then
+        // stream instruction-by-instruction until the reader objects.
+        let rec = g.usize_in(0..instrs.len());
+        let byte = HEADER_BYTES + rec * RECORD_BYTES + g.usize_in(0..RECORD_BYTES);
+        let bit = g.usize_in(0..8);
+        bytes[byte] ^= 1 << bit;
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        let mut read = Vec::new();
+        let err = loop {
+            match r.read_instr() {
+                Ok(Some(i)) => read.push(i),
+                Ok(None) => panic!("a flipped record body must not decode cleanly"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err, smtsim_trace::TraceError::Corrupt { .. }),
+            "expected Corrupt, got {err}"
+        );
+        assert_eq!(read.len(), rec, "reader must stop at the damaged record");
+        assert_eq!(read, instrs[..rec]);
+    });
+}

@@ -23,7 +23,10 @@ fn main() {
         PolicyKind::FlushSpec(100),
         PolicyKind::Mflush,
     ] {
-        let r = Simulator::build(&SimConfig::for_workload(w, policy).with_cycles(cycles)).run();
+        let r = Simulator::build(&SimConfig::for_workload(w, policy).with_cycles(cycles))
+            .expect("paper workload configs are valid")
+            .run()
+            .expect("paper workloads make forward progress");
         let e = r.energy();
         println!(
             "== {} on {} — {} flushes, {} instructions refetched ==",

@@ -9,7 +9,7 @@
 
 use mflush::prelude::*;
 use mflush::sim::report::bar_chart;
-use mflush::sim::{run_sweep, SweepJob};
+use mflush::sim::{run_sweep_ok, SweepJob};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,7 +34,7 @@ fn main() {
             )
         })
         .collect();
-    let results = run_sweep(&jobs, 0);
+    let results = run_sweep_ok(&jobs, 0);
     let baseline = &results[0].1;
 
     println!("{} for {cycles} cycles — throughput vs fairness\n", w.name);

@@ -8,7 +8,7 @@
 
 use mflush::prelude::*;
 use mflush::sim::report::histogram_table;
-use mflush::sim::{run_sweep, SweepJob};
+use mflush::sim::{run_sweep_ok, SweepJob};
 
 fn main() {
     let cycles: u64 = std::env::args()
@@ -31,7 +31,7 @@ fn main() {
                     })
             })
             .collect();
-        let results = run_sweep(&jobs, 0);
+        let results = run_sweep_ok(&jobs, 0);
 
         let mut hist = mflush::mem::LatencyHistogram::for_l2_hit_time();
         let mut ic = 0.0;

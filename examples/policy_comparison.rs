@@ -6,7 +6,7 @@
 //! ```
 
 use mflush::prelude::*;
-use mflush::sim::{run_sweep, SweepJob};
+use mflush::sim::{run_sweep_ok, SweepJob};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,7 +39,7 @@ fn main() {
         .collect();
 
     println!("{} for {cycles} cycles, all policies (parallel sweep):\n", w.name);
-    let results = run_sweep(&jobs, 0);
+    let results = run_sweep_ok(&jobs, 0);
     let base = results[0].1.throughput();
     println!(
         "{:<14}{:>10}{:>10}{:>10}{:>14}{:>12}",

@@ -28,7 +28,10 @@ fn main() {
     );
 
     let cfg = SimConfig::for_workload(w, PolicyKind::Mflush).with_cycles(cycles);
-    let result = Simulator::build(&cfg).run();
+    let result = Simulator::build(&cfg)
+        .expect("paper workload configs are valid")
+        .run()
+        .expect("paper workloads make forward progress");
 
     println!("policy            {}", result.policy);
     println!("system throughput {:.4} IPC", result.throughput());

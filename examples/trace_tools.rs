@@ -12,7 +12,7 @@ use mflush::trace::{
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bench = args.first().map(String::as_str).unwrap_or("mcf");
     let n: u64 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(100_000);

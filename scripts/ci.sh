@@ -22,6 +22,16 @@ echo "== determinism lint (smtsim-lint) =="
 cargo run --release --offline -q -p smtsim-analysis --bin smtsim-lint -- \
     --baseline scripts/lint-baseline.txt
 
+echo "== robustness (fault injection, watchdog, kill-resume) =="
+# Gate 4: the failure-model suite (DESIGN.md §11). The targets also run
+# under the workspace test gate; naming them here keeps the robustness
+# bar visible and adds the cross-process kill -9 resume check, which no
+# in-process test can cover.
+cargo test -q --offline -p smtsim-core --test robustness
+cargo test -q --offline -p smtsim-trace --test corruption
+cargo test -q --offline -p smtsim-mem --lib fault
+scripts/kill_resume_smoke.sh
+
 echo "== clippy (-D warnings) =="
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --offline --workspace --all-targets -- -D warnings

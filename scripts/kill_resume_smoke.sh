@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Kill-resume smoke test (DESIGN.md §11).
+#
+# A journaled sweep killed mid-flight (`kill -9`, no cleanup) must
+# resume to final output byte-identical to an uninterrupted run: the
+# journal replays recorded jobs, the rest run fresh, and because every
+# raw field in the JSON output is an integer/bool/string, replayed and
+# fresh results cannot diverge in formatting.
+#
+# Usage: scripts/kill_resume_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/smtsim
+if [[ ! -x "$BIN" ]]; then
+    cargo build --release --offline -q -p smtsim-core --bin smtsim
+fi
+
+WORKLOAD=4W1
+CYCLES=40000
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/smtsim-kill-resume.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+
+# Golden: one uninterrupted, journal-free sweep.
+"$BIN" sweep --workload "$WORKLOAD" --cycles "$CYCLES" --json > "$TMP/golden.json"
+
+# Victim: the same sweep with a journal, killed without cleanup as soon
+# as the journal records its first completed job.
+"$BIN" sweep --workload "$WORKLOAD" --cycles "$CYCLES" \
+    --journal "$TMP/sweep.jsonl" --json > "$TMP/victim.json" &
+VICTIM=$!
+for _ in $(seq 1 200); do
+    [[ -s "$TMP/sweep.jsonl" ]] && break
+    sleep 0.05
+done
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+
+LINES=$(wc -l < "$TMP/sweep.jsonl" 2>/dev/null || echo 0)
+echo "journal held $LINES job line(s) at kill time"
+
+# Resume: recorded jobs replay from the journal; the rest run fresh.
+"$BIN" sweep --workload "$WORKLOAD" --cycles "$CYCLES" \
+    --journal "$TMP/sweep.jsonl" --json > "$TMP/resumed.json"
+
+cmp "$TMP/golden.json" "$TMP/resumed.json"
+echo "kill-resume smoke: resumed sweep output is byte-identical"

@@ -17,10 +17,12 @@
 //! use mflush::prelude::*;
 //!
 //! // 1-core, 2-context SMT running the paper's 2W1 workload (vpr+vortex)
-//! // under the MFLUSH fetch policy for 20k cycles.
+//! // under the MFLUSH fetch policy for 20k cycles. `build` rejects
+//! // invalid configurations and `run` reports livelocks, so both
+//! // return `Result`.
 //! let workload = Workload::by_name("2W1").unwrap();
 //! let cfg = SimConfig::for_workload(&workload, PolicyKind::Mflush);
-//! let result = Simulator::build(&cfg).run();
+//! let result = Simulator::build(&cfg).unwrap().run().unwrap();
 //! assert!(result.total_committed() > 0);
 //! ```
 

@@ -2,7 +2,7 @@
 //! memory → policies → energy) assembled through the public facade.
 
 use mflush::prelude::*;
-use mflush::sim::{run_sweep, SweepJob};
+use mflush::sim::{run_sweep_ok, SweepJob};
 
 #[test]
 fn every_policy_runs_on_every_workload_size() {
@@ -20,7 +20,10 @@ fn every_policy_runs_on_every_workload_size() {
     for size in [2usize, 8] {
         let w = Workload::of_size(size)[0];
         for p in policies {
-            let r = Simulator::build(&SimConfig::for_workload(w, p).with_cycles(5_000)).run();
+            let r = Simulator::build(&SimConfig::for_workload(w, p).with_cycles(5_000))
+                .unwrap()
+                .run()
+                .unwrap();
             assert!(
                 r.total_committed() > 100,
                 "{} on {}: starved with {} commits",
@@ -38,9 +41,9 @@ fn golden_commit_order_holds_through_the_full_stack() {
     // the most squash-happy policy on the most memory-bound workload.
     let w = Workload::by_name("4W3").unwrap(); // mcf, mesa, lucas, gzip
     let cfg = SimConfig::for_workload(w, PolicyKind::FlushSpec(30)).with_cycles(30_000);
-    let mut sim = Simulator::build(&cfg);
+    let mut sim = Simulator::build(&cfg).unwrap();
     sim.enable_commit_logs();
-    sim.step(30_000);
+    sim.step(30_000).unwrap();
     for (core, log) in sim.commit_logs().iter().enumerate() {
         let mut next = [0u64; 2];
         assert!(!log.is_empty(), "core {core} committed nothing");
@@ -62,7 +65,9 @@ fn simulation_is_deterministic_end_to_end() {
         let r = Simulator::build(
             &SimConfig::for_workload(w, PolicyKind::Mflush).with_cycles(10_000),
         )
-        .run();
+        .unwrap()
+        .run()
+        .unwrap();
         (
             r.total_committed(),
             r.total_flushes(),
@@ -89,8 +94,8 @@ fn parallel_sweep_matches_serial_execution() {
             ),
         ]
     };
-    let par = run_sweep(&mk_jobs(), 2);
-    let ser = run_sweep(&mk_jobs(), 1);
+    let par = run_sweep_ok(&mk_jobs(), 2);
+    let ser = run_sweep_ok(&mk_jobs(), 1);
     for ((la, a), (lb, b)) in par.iter().zip(&ser) {
         assert_eq!(la, lb);
         assert_eq!(a.total_committed(), b.total_committed());
@@ -104,8 +109,8 @@ fn config_clones_validate_and_rebuild_identically() {
     let cfg = SimConfig::for_workload(w, PolicyKind::FlushSpec(70));
     cfg.validate().unwrap();
     let again = cfg.clone();
-    let a = Simulator::build(&cfg.with_cycles(2_000)).run();
-    let b = Simulator::build(&again.with_cycles(2_000)).run();
+    let a = Simulator::build(&cfg.with_cycles(2_000)).unwrap().run().unwrap();
+    let b = Simulator::build(&again.with_cycles(2_000)).unwrap().run().unwrap();
     assert_eq!(a.total_committed(), b.total_committed());
 }
 
@@ -129,7 +134,7 @@ fn l2_clusters_reduce_mt_and_still_run() {
     cfg.validate().unwrap();
     let env = cfg.policy_env();
     assert_eq!(env.num_cores, 2, "MT scales with cores per cluster");
-    let r = Simulator::build(&cfg).run();
+    let r = Simulator::build(&cfg).unwrap().run().unwrap();
     assert!(r.total_committed() > 1_000);
 }
 
@@ -138,7 +143,7 @@ fn next_line_prefetch_runs_end_to_end() {
     let w = Workload::by_name("4W2").unwrap();
     let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount).with_cycles(10_000);
     cfg.mem.next_line_prefetch = true;
-    let r = Simulator::build(&cfg).run();
+    let r = Simulator::build(&cfg).unwrap().run().unwrap();
     let prefetches = r.mem.total(|c| c.prefetches);
     assert!(prefetches > 0, "streaming workload must trigger prefetches");
     assert!(r.total_committed() > 1_000);
@@ -153,7 +158,10 @@ fn extension_policies_run_on_real_workloads() {
         PolicyKind::FlushMissPredict,
     ] {
         let w = Workload::by_name("4W3").unwrap();
-        let r = Simulator::build(&SimConfig::for_workload(w, p).with_cycles(8_000)).run();
+        let r = Simulator::build(&SimConfig::for_workload(w, p).with_cycles(8_000))
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(
             r.total_committed() > 500,
             "{} starved: {}",
@@ -167,8 +175,8 @@ fn extension_policies_run_on_real_workloads() {
 fn mflush_introspection_via_core_policy_handle() {
     let w = Workload::by_name("4W3").unwrap();
     let cfg = SimConfig::for_workload(w, PolicyKind::Mflush).with_cycles(20_000);
-    let mut sim = Simulator::build(&cfg);
-    sim.step(20_000);
+    let mut sim = Simulator::build(&cfg).unwrap();
+    sim.step(20_000).unwrap();
     for core in sim.cores() {
         assert_eq!(core.policy_name(), "MFLUSH");
     }

@@ -40,9 +40,9 @@ fn golden_order_for_random_mixes() {
         let cfg = SimConfig::for_benchmarks(&[b0, b1], p)
             .with_cycles(4_000)
             .with_seed(seed);
-        let mut sim = Simulator::build(&cfg);
+        let mut sim = Simulator::build(&cfg).unwrap();
         sim.enable_commit_logs();
-        sim.step(4_000);
+        sim.step(4_000).unwrap();
         let r = sim.snapshot();
         assert!(
             r.total_committed() > 0,
@@ -68,7 +68,7 @@ fn energy_ledger_consistency() {
         let (b0, b1) = (benchmark(g), benchmark(g));
         let p = policy(g);
         let cfg = SimConfig::for_benchmarks(&[b0, b1], p).with_cycles(4_000);
-        let r = Simulator::build(&cfg).run();
+        let r = Simulator::build(&cfg).unwrap().run().unwrap();
         let e = r.energy();
         let total = e.total_energy();
         let parts = e.useful_energy() + e.wasted_energy() + e.mispredict_energy();
@@ -98,7 +98,7 @@ fn throughput_accounting() {
         let cfg = SimConfig::for_benchmarks(&[b0, b1], PolicyKind::Mflush)
             .with_cycles(3_000)
             .with_seed(seed);
-        let r = Simulator::build(&cfg).run();
+        let r = Simulator::build(&cfg).unwrap().run().unwrap();
         let from_ipc = r.throughput() * r.cycles as f64;
         assert!((from_ipc - r.total_committed() as f64).abs() < 1e-6);
         let sum: f64 = r.per_thread_ipc().iter().sum();
@@ -117,7 +117,7 @@ fn determinism_for_random_configs() {
             let cfg = SimConfig::for_benchmarks(&[b0, b1], p)
                 .with_cycles(2_500)
                 .with_seed(seed);
-            let r = Simulator::build(&cfg).run();
+            let r = Simulator::build(&cfg).unwrap().run().unwrap();
             (r.total_committed(), r.total_flushes())
         };
         assert_eq!(run(), run());
