@@ -6,7 +6,7 @@
 //!
 //! Walks every `.rs` file under the workspace root (found by searching
 //! upward from the current directory unless `--root` is given), runs
-//! rules D1–D6, applies inline waivers and the baseline file
+//! rules D1–D8, applies inline waivers and the baseline file
 //! (`scripts/lint-baseline.txt` by default), prints the findings and
 //! exits nonzero when any unwaived finding remains. With `--json` the
 //! full report is emitted through the workspace's `ToJson` machinery —

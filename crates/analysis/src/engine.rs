@@ -9,6 +9,7 @@
 use crate::coverage::Coverage;
 use crate::findings::{Finding, LintReport};
 use crate::lexer::lex;
+use crate::metrics_doc::{check_metrics_doc, collect_registrations, Registration};
 use crate::rules::check_file;
 use crate::waiver::{Baseline, Waivers};
 use std::collections::BTreeMap;
@@ -57,20 +58,34 @@ pub fn collect_files(root: &Path) -> Vec<(String, String)> {
     files
 }
 
-/// Lint an in-memory file set. This is the engine proper; `lint_root`
-/// wraps it with the filesystem walk.
+/// Lint an in-memory file set without a METRICS.md (rule D8 is
+/// skipped — it judges the registry/doc *pair*). `lint_root` supplies
+/// the doc; use [`lint_files_doc`] to pass one explicitly.
 pub fn lint_files(files: &[(String, String)], baseline: &Baseline) -> LintReport {
+    lint_files_doc(files, baseline, None)
+}
+
+/// Lint an in-memory file set. This is the engine proper; `lint_root`
+/// wraps it with the filesystem walk and the METRICS.md read.
+pub fn lint_files_doc(
+    files: &[(String, String)],
+    baseline: &Baseline,
+    metrics_doc: Option<&str>,
+) -> LintReport {
     let mut findings: Vec<Finding> = Vec::new();
     let mut coverage = Coverage::default();
     let mut waivers: BTreeMap<&str, Waivers> = BTreeMap::new();
+    let mut registrations: Vec<Registration> = Vec::new();
 
     for (rel, src) in files {
         let toks = lex(src);
         check_file(rel, &toks, &mut findings);
         coverage.scan_file(rel, &toks);
+        collect_registrations(rel, &toks, &mut registrations);
         waivers.insert(rel, Waivers::collect(&toks));
     }
     coverage.finish(&mut findings);
+    check_metrics_doc(&registrations, metrics_doc, &mut findings);
 
     for f in &mut findings {
         let inline = waivers
@@ -90,9 +105,11 @@ pub fn lint_files(files: &[(String, String)], baseline: &Baseline) -> LintReport
     report
 }
 
-/// Walk `root` and lint everything under it.
+/// Walk `root` and lint everything under it, reading `METRICS.md` at
+/// the root (when present) for rule D8.
 pub fn lint_root(root: &Path, baseline: &Baseline) -> LintReport {
-    lint_files(&collect_files(root), baseline)
+    let doc = fs::read_to_string(root.join("METRICS.md")).ok();
+    lint_files_doc(&collect_files(root), baseline, doc.as_deref())
 }
 
 /// Find the workspace root: the nearest ancestor of `start` whose

@@ -26,10 +26,13 @@ pub enum Rule {
     D6,
     /// No `catch_unwind` outside the sweep's panic-isolation boundary.
     D7,
+    /// Every registered metric must be documented in METRICS.md, and
+    /// METRICS.md must not document metrics that no longer exist.
+    D8,
 }
 
 /// All rules, in id order.
-pub const ALL_RULES: [Rule; 7] = [
+pub const ALL_RULES: [Rule; 8] = [
     Rule::D1,
     Rule::D2,
     Rule::D3,
@@ -37,6 +40,7 @@ pub const ALL_RULES: [Rule; 7] = [
     Rule::D5,
     Rule::D6,
     Rule::D7,
+    Rule::D8,
 ];
 
 impl Rule {
@@ -50,6 +54,7 @@ impl Rule {
             Rule::D5 => "D5",
             Rule::D6 => "D6",
             Rule::D7 => "D7",
+            Rule::D8 => "D8",
         }
     }
 
@@ -63,6 +68,7 @@ impl Rule {
             Rule::D5 => "no #[allow(clippy::...)] without an inline waiver",
             Rule::D6 => "no floating-point cycle/counter struct fields or float accumulation into counters",
             Rule::D7 => "no catch_unwind outside crates/core/src/sweep.rs (panic isolation has one blessed boundary)",
+            Rule::D8 => "every registered MetricSpec name must appear in METRICS.md, and METRICS.md must not list unregistered metrics",
         }
     }
 

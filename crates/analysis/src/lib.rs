@@ -6,8 +6,9 @@
 //! break silently: one `HashMap` iteration, one wall-clock read, one
 //! stats field that never reaches the JSON report. This crate is the
 //! static gate that keeps those out: a hand-rolled Rust lexer
-//! ([`lexer`]) feeding a rule engine ([`rules`], [`coverage`]) that
-//! walks every `.rs` file in the workspace and enforces six rules:
+//! ([`lexer`]) feeding a rule engine ([`rules`], [`coverage`],
+//! [`metrics_doc`]) that walks every `.rs` file in the workspace and
+//! enforces eight rules:
 //!
 //! | Rule | Invariant |
 //! |------|-----------|
@@ -17,6 +18,8 @@
 //! | D4 | every `pub` stats field must reach its `ToJson` impl |
 //! | D5 | no `#[allow(clippy::…)]` without a waiver |
 //! | D6 | no floating-point cycle/counter fields or accumulation |
+//! | D7 | no `catch_unwind` outside the sweep's panic boundary |
+//! | D8 | the metric registry and METRICS.md must agree, both ways |
 //!
 //! Violations can be suppressed with an inline
 //! `// lint: allow(<rule>) -- <reason>` waiver ([`waiver`]) or a
@@ -34,9 +37,10 @@ pub mod coverage;
 pub mod engine;
 pub mod findings;
 pub mod lexer;
+pub mod metrics_doc;
 pub mod rules;
 pub mod waiver;
 
-pub use engine::{collect_files, find_workspace_root, lint_files, lint_root};
+pub use engine::{collect_files, find_workspace_root, lint_files, lint_files_doc, lint_root};
 pub use findings::{Finding, LintReport, Rule, ALL_RULES};
 pub use waiver::Baseline;

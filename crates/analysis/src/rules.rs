@@ -49,7 +49,7 @@ const HOT_PATH_FILES: &[&str] = &[
 ];
 
 /// Crates whose `src/` trees count as simulator code for D1/D6.
-const SIM_CRATES: &[&str] = &["cpu", "mem", "policy", "trace", "core", "energy"];
+const SIM_CRATES: &[&str] = &["cpu", "mem", "policy", "trace", "core", "energy", "obs"];
 
 impl FileClass {
     /// Classify a root-relative path.

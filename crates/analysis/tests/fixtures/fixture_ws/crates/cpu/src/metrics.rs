@@ -1,0 +1,32 @@
+//! Fixture: D8 registration extraction. One documented registration,
+//! one the fixture METRICS.md forgot, and one inside a test region
+//! that must not count.
+
+pub struct MetricSpec {
+    pub name: &'static str,
+    pub unit: &'static str,
+}
+
+pub const DOCUMENTED: MetricSpec = MetricSpec {
+    name: "fix.documented_rate",
+    unit: "events",
+};
+
+pub const UNDOCUMENTED: MetricSpec = MetricSpec {
+    name: "fix.undocumented_rate",
+    unit: "events",
+};
+
+#[cfg(test)]
+mod tests {
+    use super::MetricSpec;
+
+    #[test]
+    fn test_registrations_are_ignored() {
+        let m = MetricSpec {
+            name: "fix.test_only_rate",
+            unit: "events",
+        };
+        assert_eq!(m.name, "fix.test_only_rate");
+    }
+}

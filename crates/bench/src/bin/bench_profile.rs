@@ -1,0 +1,90 @@
+//! `bench_profile` — host-time breakdown of one simulator run by
+//! driver pipeline phase (build / simulate / snapshot / trace collect
+//! / trace export), with tracing and interval metrics enabled so the
+//! observability layer's own cost is visible.
+//!
+//! ```text
+//! bench_profile [--workload 4W3] [--policy mflush] [--cycles N]
+//! ```
+
+use smtsim_bench::profile::profile_run;
+use smtsim_core::{SimConfig, Simulator, Workload};
+use smtsim_policy::PolicyKind;
+
+fn main() {
+    let mut workload = String::from("4W3");
+    let mut policy = String::from("mflush");
+    let mut cycles: u64 = smtsim_core::config::DEFAULT_CYCLES;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    let usage = || -> ! {
+        eprintln!("usage: bench_profile [--workload <xWy>] [--policy <p>] [--cycles N]");
+        std::process::exit(2);
+    };
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for --{name}");
+                usage();
+            })
+        };
+        match a.as_str() {
+            "--workload" => workload = next("workload"),
+            "--policy" => policy = next("policy"),
+            "--cycles" => {
+                cycles = next("cycles").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --cycles value");
+                    usage();
+                })
+            }
+            _ => usage(),
+        }
+    }
+    let w = Workload::by_name(&workload).unwrap_or_else(|| {
+        eprintln!("unknown workload {workload} (try `smtsim workloads`)");
+        std::process::exit(2);
+    });
+    // Reuse the simulator's policy grammar by building a probe config:
+    // only a handful of spellings exist, so parse the simple ones here.
+    let policy_kind = match policy.as_str() {
+        "icount" => PolicyKind::Icount,
+        "mflush" => PolicyKind::Mflush,
+        "flush-ns" => PolicyKind::FlushNonSpec,
+        "stall-ns" => PolicyKind::StallNonSpec,
+        "dcra" => PolicyKind::Dcra,
+        other => {
+            if let Some(x) = other.strip_prefix("flush-s").and_then(|x| x.parse().ok()) {
+                PolicyKind::FlushSpec(x)
+            } else if let Some(x) = other.strip_prefix("stall-s").and_then(|x| x.parse().ok()) {
+                PolicyKind::StallSpec(x)
+            } else {
+                eprintln!("unknown policy {other}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let cfg = SimConfig::for_workload(w, policy_kind).with_cycles(cycles);
+    if let Err(e) = Simulator::build(&cfg) {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+    match profile_run(&cfg) {
+        Ok((prof, result)) => {
+            print!(
+                "{}",
+                prof.report(&format!(
+                    "Host-time per pipeline phase ({workload}/{policy}, {cycles} cycles)"
+                ))
+            );
+            println!(
+                "throughput {:.4} IPC ({} committed)",
+                result.throughput(),
+                result.total_committed()
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

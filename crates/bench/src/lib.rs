@@ -26,6 +26,7 @@
 //! tighter numbers.
 
 pub mod figures;
+pub mod profile;
 pub mod timing;
 
 pub use figures::*;

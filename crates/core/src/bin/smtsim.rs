@@ -3,6 +3,8 @@
 //! ```text
 //! smtsim run --workload 8W3 --policy mflush --cycles 200000
 //! smtsim run --benchmarks mcf,gzip,swim,crafty --policy flush-s50 --json
+//! smtsim run --workload 4W3 --policy flush-s30 --trace-events trace.jsonl --metrics-interval 5000
+//! smtsim run --workload 4W3 --trace-events trace.json --trace-format chrome
 //! smtsim sweep --workload 8W3 --cycles 100000 --csv
 //! smtsim sweep --workload 8W3 --cycles 100000 --json --journal sweep.jsonl
 //! smtsim calibrate --cycles 60000 --json
@@ -28,7 +30,8 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         smtsim run --workload <xWy> [--policy <p>] [--cycles N] [--seed N] [--json]\n  \
+         smtsim run --workload <xWy> [--policy <p>] [--cycles N] [--seed N] [--json]\n             \
+         [--trace-events FILE] [--metrics-interval N] [--trace-format jsonl|chrome]\n  \
          smtsim run --benchmarks a,b,c,d [--policy <p>] [--cycles N] [--json]\n  \
          smtsim sweep --workload <xWy> [--cycles N] [--journal FILE] [--csv | --json]\n  \
          smtsim calibrate [--cycles N] [--json]\n  \
@@ -248,7 +251,49 @@ fn cmd_run(args: &Args) {
             smtsim_core::config::DEFAULT_WATCHDOG,
         ));
     let workload = cfg.benchmarks.join(",");
-    let outcome = Simulator::build(&cfg).and_then(|s| s.run());
+    let trace_path: Option<PathBuf> = args.get("trace-events").map(PathBuf::from);
+    let metrics_interval: Option<u64> = args.has("metrics-interval").then(|| {
+        args.get_u64(
+            "metrics-interval",
+            smtsim_core::config::DEFAULT_METRICS_INTERVAL,
+        )
+    });
+    if metrics_interval.is_some() && trace_path.is_none() {
+        eprintln!("--metrics-interval requires --trace-events");
+        usage();
+    }
+    let trace_format = args.get("trace-format").unwrap_or("jsonl");
+    if !matches!(trace_format, "jsonl" | "chrome") {
+        eprintln!("bad value for --trace-format: {trace_format} (want jsonl or chrome)");
+        usage();
+    }
+    // Render the trace even when the run fails — a watchdog abort is
+    // exactly when the event tail is most interesting.
+    let mut trace_out: Option<String> = None;
+    let outcome = Simulator::build(&cfg).and_then(|mut s| {
+        if trace_path.is_some() {
+            s.enable_tracing(smtsim_core::config::DEFAULT_TRACE_CAPACITY);
+            if let Some(interval) = metrics_interval {
+                s.enable_metrics(interval);
+            }
+        }
+        let stepped = s.step(cfg.cycles);
+        if trace_path.is_some() {
+            let rows = s.trace_rows();
+            let samples = s.metrics_samples();
+            trace_out = Some(match trace_format {
+                "chrome" => smtsim_core::obs::chrome_trace(&rows, samples),
+                _ => smtsim_core::obs::observability_jsonl(&rows, samples),
+            });
+        }
+        stepped.map(|()| s.snapshot())
+    });
+    if let (Some(path), Some(content)) = (&trace_path, &trace_out) {
+        if let Err(e) = std::fs::write(path, content) {
+            eprintln!("error writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
     let r = match outcome {
         Ok(r) => r,
         Err(e) => {

@@ -16,6 +16,7 @@ use smtsim_trace::spec;
 /// under ICOUNT).
 #[derive(Debug, Clone)]
 pub struct CalRow {
+    /// Benchmark name (the paper's Fig. 1 legend key).
     pub name: String,
     /// Committed IPC per thread.
     pub ipc_per_thread: f64,

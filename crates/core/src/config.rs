@@ -23,6 +23,23 @@ pub const DEFAULT_CYCLES: u64 = 150_000;
 /// so 50k is an order of magnitude of headroom.
 pub const DEFAULT_WATCHDOG: u64 = 50_000;
 
+/// Default event-ring capacity per component when tracing is enabled
+/// (`--trace-events`).
+///
+/// Rings keep the most recent events, so the tail of a run — where a
+/// FLUSH storm or a livelock lives — always survives; 64Ki records per
+/// component bounds memory at a few MB per core while covering tens of
+/// thousands of cycles of dense activity.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Default interval metrics sampling period in cycles
+/// (`--metrics-interval`).
+///
+/// Coarse enough that sampling cost is invisible, fine enough to
+/// resolve policy phase behaviour within the default
+/// [`DEFAULT_CYCLES`]-cycle run (15 samples).
+pub const DEFAULT_METRICS_INTERVAL: u64 = 10_000;
+
 /// One complete experiment: machine + workload + policy + interval.
 #[derive(Debug, Clone)]
 pub struct SimConfig {

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! # smtsim-core — CMP+SMT simulator driver for the MFLUSH reproduction
 //!
 //! Assembles the full machine of the paper: `N` two-context SMT cores
@@ -19,12 +20,16 @@
 //!   cores);
 //! * [`report`] — plain-text tables matching the paper's figures;
 //! * [`json`] — dependency-free JSON emission ([`json::ToJson`]) for
-//!   machine-readable results.
+//!   machine-readable results;
+//! * [`obs`] — cycle-level observability: merged event traces (JSONL
+//!   and Chrome `trace_event` export) and the interval metrics sampler
+//!   behind METRICS.md.
 
 pub mod calibration;
 pub mod config;
 pub mod error;
 pub mod json;
+pub mod obs;
 pub mod report;
 pub mod result;
 pub mod sim;
@@ -34,6 +39,7 @@ pub mod workloads;
 pub use calibration::{calibrate, calibrate_one, CalRow};
 pub use error::{CoreDiagnostic, ProgressDiagnostic, SimError};
 pub use json::ToJson;
+pub use obs::{MetricsRecorder, TraceRow};
 pub use config::SimConfig;
 pub use result::SimResult;
 pub use sim::Simulator;

@@ -14,7 +14,9 @@
 
 use crate::config::SimConfig;
 use crate::error::{CoreDiagnostic, ProgressDiagnostic, SimError};
+use crate::obs::{self, MetricsRecorder, TraceRow};
 use crate::result::SimResult;
+use smtsim_obs::MetricSample;
 use smtsim_cpu::thread::ThreadProgram;
 use smtsim_cpu::SmtCore;
 use smtsim_mem::MemorySystem;
@@ -36,6 +38,9 @@ pub struct Simulator {
     /// Last cycle in which *anything* progressed (commit or memory
     /// completion).
     last_progress_cycle: u64,
+    /// Interval metrics sampler (`None` unless enabled — sampling off
+    /// must not perturb anything, DESIGN.md §12).
+    metrics: Option<MetricsRecorder>,
 }
 
 impl Simulator {
@@ -75,6 +80,7 @@ impl Simulator {
             last_commit_cycle: vec![0; num_cores],
             last_completions: mem.total_completions(),
             last_progress_cycle: 0,
+            metrics: None,
             cores,
             mem,
             now: 0,
@@ -96,6 +102,11 @@ impl Simulator {
                 c.tick(self.now, &mut self.mem);
             }
             self.now += 1;
+            if let Some(rec) = self.metrics.as_mut() {
+                if rec.due(self.now) {
+                    rec.sample(self.now, &self.cores, &self.mem);
+                }
+            }
             self.observe_progress();
             if watchdog > 0 && self.now - self.last_progress_cycle >= watchdog {
                 return Err(self.no_forward_progress());
@@ -195,6 +206,36 @@ impl Simulator {
     /// Cycle counter.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Start event tracing on every component (the memory system and
+    /// each core), each with a ring keeping the most recent `capacity`
+    /// records. Tracing is off by default and reads only simulated
+    /// time, so enabling it never changes simulation results.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.mem.enable_trace(capacity);
+        for c in &mut self.cores {
+            c.enable_trace(capacity);
+        }
+    }
+
+    /// Start sampling every registered metric every `interval` cycles
+    /// (see [`crate::obs::all_metrics`]).
+    pub fn enable_metrics(&mut self, interval: u64) {
+        self.metrics = Some(MetricsRecorder::new(interval));
+    }
+
+    /// The merged machine-wide event stream, ordered by
+    /// `(cycle, rank, seq)` — empty unless [`Self::enable_tracing`]
+    /// was called.
+    pub fn trace_rows(&self) -> Vec<TraceRow> {
+        obs::collect_rows(&self.cores, &self.mem)
+    }
+
+    /// All metric samples recorded so far — empty unless
+    /// [`Self::enable_metrics`] was called.
+    pub fn metrics_samples(&self) -> &[MetricSample] {
+        self.metrics.as_ref().map(|m| m.samples()).unwrap_or(&[])
     }
 
     /// Record `(tid, trace_seq)` for every commit on every core — the

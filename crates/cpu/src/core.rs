@@ -18,6 +18,7 @@ use crate::thread::{FetchGate, FrontendEntry, ThreadCtx, ThreadProgram, WrongPat
 use smtsim_energy::{PipelineStage, SquashCause};
 use smtsim_mem::addr::{bank_of, line_base};
 use smtsim_mem::{AccessKind, AccessResult, MemEvent, MemorySystem, ReqId};
+use smtsim_obs::{EventRing, TraceEvent};
 use smtsim_policy::{FetchPolicy, PolicyAction, ThreadSnapshot};
 use smtsim_trace::{DynInstr, InstrClass, UncondKind};
 use std::cmp::Reverse;
@@ -59,6 +60,14 @@ pub struct SmtCore {
     /// commits its trace in order, exactly once, across flushes and
     /// mispredicts.
     commit_log: Option<Vec<(usize, u64)>>,
+    /// Optional event trace (None unless enabled: the disabled path is
+    /// one branch, zero allocation — see DESIGN.md §12).
+    trace: Option<EventRing>,
+    /// Per-thread ROB-occupancy high-water marks (tracked only while
+    /// tracing, to emit `rob_high_water` events).
+    rob_high: Vec<u32>,
+    /// Shared-IQ occupancy high-water mark (tracing only).
+    iq_high: u32,
     // Reusable scratch.
     snaps: Vec<ThreadSnapshot>,
     prio: Vec<usize>,
@@ -111,6 +120,9 @@ impl SmtCore {
             wp_buffers: (0..threads.len()).map(|_| VecDeque::new()).collect(),
             next_token: 1,
             commit_log: None,
+            trace: None,
+            rob_high: vec![0; threads.len()],
+            iq_high: 0,
             snaps: Vec::new(),
             prio: Vec::new(),
             actions: Vec::new(),
@@ -599,6 +611,31 @@ impl SmtCore {
                 });
                 self.iq_used[queue.index()] += 1;
                 self.iq_per_thread[tid] += 1;
+                if let Some(ring) = &mut self.trace {
+                    let rob_occ = self.threads[tid].rob.len() as u32;
+                    if rob_occ > self.rob_high[tid] {
+                        self.rob_high[tid] = rob_occ;
+                        ring.emit(
+                            now,
+                            TraceEvent::RobHighWater {
+                                core: self.core_id,
+                                tid: tid as u32,
+                                occupancy: rob_occ,
+                            },
+                        );
+                    }
+                    let iq_occ: u32 = self.iq_used.iter().sum();
+                    if iq_occ > self.iq_high {
+                        self.iq_high = iq_occ;
+                        ring.emit(
+                            now,
+                            TraceEvent::IqHighWater {
+                                core: self.core_id,
+                                occupancy: iq_occ,
+                            },
+                        );
+                    }
+                }
                 budget -= 1;
             }
         }
@@ -636,6 +673,15 @@ impl SmtCore {
                     if self.threads[tid].gate == FetchGate::Open {
                         self.threads[tid].gate = FetchGate::PolicyStall;
                         self.stalls_executed += 1;
+                        if let Some(ring) = &mut self.trace {
+                            ring.emit(
+                                now,
+                                TraceEvent::Stall {
+                                    core: self.core_id,
+                                    tid: tid as u32,
+                                },
+                            );
+                        }
                     }
                 }
                 PolicyAction::Resume { tid } => {
@@ -667,11 +713,21 @@ impl SmtCore {
             self.policy.on_thread_resumed(tid, now);
             return;
         }
-        self.squash_younger(tid, token, SquashCause::Flush, now);
+        let squashed = self.squash_younger(tid, token, SquashCause::Flush, now);
         let t = &mut self.threads[tid];
         t.gate = FetchGate::Flushed { offender: token };
         t.flushes += 1;
         self.flushes_executed += 1;
+        if let Some(ring) = &mut self.trace {
+            ring.emit(
+                now,
+                TraceEvent::Flush {
+                    core: self.core_id,
+                    tid: tid as u32,
+                    squashed,
+                },
+            );
+        }
     }
 
     // ----------------------------------------------------------------
@@ -680,13 +736,17 @@ impl SmtCore {
 
     /// Squash every instruction of `tid` younger than `keep_token`:
     /// restore rename state, free queue slots, replay correct-path
-    /// instructions into the stream, account squash energy.
-    fn squash_younger(&mut self, tid: usize, keep_token: u64, cause: SquashCause, now: u64) {
+    /// instructions into the stream, account squash energy. Returns the
+    /// number of instructions removed (front-end + ROB, wrong-path
+    /// included) — the `flush` trace event's cost figure.
+    fn squash_younger(&mut self, tid: usize, keep_token: u64, cause: SquashCause, now: u64) -> u32 {
         // Front-end entries are all younger than anything in the ROB.
+        let mut squashed: u32 = 0;
         let mut replay_frontend: Vec<DynInstr> = Vec::new();
         {
             let t = &mut self.threads[tid];
             let fes: Vec<FrontendEntry> = t.frontend.drain(..).collect();
+            squashed += fes.len() as u32;
             for fe in fes {
                 debug_assert!(fe.token > keep_token);
                 let stage = if now >= fe.fetched_at + 2 {
@@ -704,6 +764,7 @@ impl SmtCore {
             }
         }
         let removed = self.threads[tid].rob.squash_younger(keep_token);
+        squashed += removed.len() as u32;
         let mut replay_rob: Vec<DynInstr> = Vec::new();
         for e in &removed {
             // Newest-first: rename rollback order is correct.
@@ -761,6 +822,7 @@ impl SmtCore {
                 self.policy.on_thread_resumed(tid, now);
             }
         }
+        squashed
     }
 
     // ----------------------------------------------------------------
@@ -786,6 +848,16 @@ impl SmtCore {
             if fetched > 0 {
                 fetched_any_cycle = true;
                 threads_used += 1;
+                if let Some(ring) = &mut self.trace {
+                    ring.emit(
+                        now,
+                        TraceEvent::FetchSlots {
+                            core: self.core_id,
+                            tid: tid as u32,
+                            slots: fetched,
+                        },
+                    );
+                }
             }
         }
         if fetched_any_cycle {
@@ -1041,6 +1113,20 @@ impl SmtCore {
     /// Start recording `(tid, trace_seq)` for every commit.
     pub fn enable_commit_log(&mut self) {
         self.commit_log = Some(Vec::new());
+    }
+
+    /// Start recording trace events into a ring keeping the most
+    /// recent `capacity` records (DESIGN.md §12). Tracing is off by
+    /// default and costs one branch per instrumentation point when
+    /// disabled.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(EventRing::new(capacity));
+    }
+
+    /// The core's event ring (`None` unless [`Self::enable_trace`] was
+    /// called).
+    pub fn trace(&self) -> Option<&EventRing> {
+        self.trace.as_ref()
     }
 
     /// The recorded commit log (empty when not enabled).

@@ -57,6 +57,7 @@ pub mod bpred;
 pub mod btb;
 pub mod config;
 pub mod core;
+pub mod metrics;
 pub mod ras;
 pub mod regfile;
 pub mod rob;
@@ -67,5 +68,6 @@ pub use bpred::PerceptronPredictor;
 pub use btb::Btb;
 pub use config::CoreConfig;
 pub use core::SmtCore;
+pub use metrics::METRICS;
 pub use ras::ReturnAddressStack;
 pub use stats::{CoreStats, ThreadProbe, ThreadStats};

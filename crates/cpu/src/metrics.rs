@@ -1,0 +1,56 @@
+//! The cpu crate's metric registrations — the single place a
+//! cpu-owned stat gets its name, unit and doc string (DESIGN.md §12).
+//!
+//! Lint rule D8 cross-checks every `MetricSpec` here against
+//! METRICS.md; the interval sampler in `smtsim-core::obs` computes the
+//! values from [`crate::CoreStats`] deltas.
+
+use smtsim_obs::{MetricKind, MetricSpec};
+
+/// Per-thread committed instructions per cycle over the last interval.
+pub const METRIC_THREAD_IPC: MetricSpec = MetricSpec {
+    name: "cpu.thread.ipc",
+    unit: "instr/cycle",
+    kind: MetricKind::Gauge,
+    krate: "cpu",
+    doc: "Per-thread committed IPC over the last sampling interval.",
+    figure: "Fig. 2",
+};
+
+/// Per-thread share of its core's fetch slots over the last interval.
+pub const METRIC_THREAD_FETCH_SHARE: MetricSpec = MetricSpec {
+    name: "cpu.thread.fetch_share",
+    unit: "fraction",
+    kind: MetricKind::Gauge,
+    krate: "cpu",
+    doc: "Thread's fraction of its core's fetched instructions over the last interval (0 when the core fetched nothing).",
+    figure: "Fig. 6",
+};
+
+/// Cumulative FLUSH response actions executed per core.
+pub const METRIC_CORE_FLUSHES: MetricSpec = MetricSpec {
+    name: "cpu.core.flushes",
+    unit: "events",
+    kind: MetricKind::Counter,
+    krate: "cpu",
+    doc: "Cumulative FLUSH response actions executed on the core.",
+    figure: "Fig. 9",
+};
+
+/// Cumulative STALL response actions executed per core.
+pub const METRIC_CORE_STALLS: MetricSpec = MetricSpec {
+    name: "cpu.core.stalls",
+    unit: "events",
+    kind: MetricKind::Counter,
+    krate: "cpu",
+    doc: "Cumulative STALL response actions executed on the core.",
+    figure: "Fig. 9",
+};
+
+/// All cpu-crate metrics, in registration order.
+pub const METRICS: &[MetricSpec] = &[
+    METRIC_THREAD_IPC,
+    METRIC_THREAD_FETCH_SHARE,
+    METRIC_CORE_FLUSHES,
+    METRIC_CORE_STALLS,
+];

@@ -53,6 +53,7 @@ pub mod dram;
 pub mod fault;
 pub mod histogram;
 pub mod l2bank;
+pub mod metrics;
 pub mod mshr;
 pub mod system;
 pub mod tlb;
@@ -61,6 +62,7 @@ pub mod util;
 pub use cache::{AccessOutcome, CacheGeometry, ReplacementPolicy, SetAssocCache};
 pub use fault::FaultPlan;
 pub use histogram::LatencyHistogram;
+pub use metrics::METRICS;
 pub use system::{
     AccessKind, AccessResult, Completion, CoreMemStats, MemConfig, MemEvent, MemStats,
     MemorySystem, ReqId,

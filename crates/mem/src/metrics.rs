@@ -1,0 +1,45 @@
+//! The mem crate's metric registrations — the single place a
+//! mem-owned stat gets its name, unit and doc string (DESIGN.md §12).
+//!
+//! Lint rule D8 cross-checks every `MetricSpec` here against
+//! METRICS.md; the interval sampler in `smtsim-core::obs` computes the
+//! values from [`crate::MemorySystem`] accessors.
+
+use smtsim_obs::{MetricKind, MetricSpec};
+
+/// Per-bank L2 miss rate over the last sampling interval.
+pub const METRIC_L2_BANK_MISS_RATE: MetricSpec = MetricSpec {
+    name: "mem.l2.bank_miss_rate",
+    unit: "fraction",
+    kind: MetricKind::Gauge,
+    krate: "mem",
+    doc: "Per-L2-bank miss rate (misses / accesses) over the last sampling interval (0 when the bank saw no accesses).",
+    figure: "Fig. 4",
+};
+
+/// Per-core MSHR occupancy at the sample instant.
+pub const METRIC_MSHR_OCCUPANCY: MetricSpec = MetricSpec {
+    name: "mem.mshr.occupancy",
+    unit: "entries",
+    kind: MetricKind::Gauge,
+    krate: "mem",
+    doc: "Per-core MSHR entries in use at the sample instant.",
+    figure: "",
+};
+
+/// Cumulative DRAM demand round-trips.
+pub const METRIC_DRAM_ROUND_TRIPS: MetricSpec = MetricSpec {
+    name: "mem.dram.round_trips",
+    unit: "events",
+    kind: MetricKind::Counter,
+    krate: "mem",
+    doc: "Cumulative demand responses returned by DRAM, machine-wide.",
+    figure: "",
+};
+
+/// All mem-crate metrics, in registration order.
+pub const METRICS: &[MetricSpec] = &[
+    METRIC_L2_BANK_MISS_RATE,
+    METRIC_MSHR_OCCUPANCY,
+    METRIC_DRAM_ROUND_TRIPS,
+];

@@ -20,6 +20,7 @@ use crate::l2bank::{BankOp, BankOutcome, L2Bank};
 use crate::mshr::{MshrAlloc, MshrFile};
 use crate::tlb::Tlb;
 use crate::util::Slab;
+use smtsim_obs::{EventRing, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -376,6 +377,10 @@ pub struct MemorySystem {
     l2_hit_hist: LatencyHistogram,
     /// Per-load L2 *hit* latencies, including queueing — Fig. 4.
     total_completions: u64,
+    /// Demand responses returned by DRAM (feeds `mem.dram.round_trips`).
+    dram_round_trips: u64,
+    /// Optional event trace (None unless enabled — DESIGN.md §12).
+    trace: Option<EventRing>,
 }
 
 impl MemorySystem {
@@ -422,6 +427,8 @@ impl MemorySystem {
             dram: Dram::new(cfg.dram_cycles, cfg.dram_max_inflight),
             l2_hit_hist: LatencyHistogram::for_l2_hit_time(),
             total_completions: 0,
+            dram_round_trips: 0,
+            trace: None,
             cfg,
         }
     }
@@ -601,10 +608,18 @@ impl MemorySystem {
                 if self.cfg.next_line_prefetch && kind == AccessKind::Load {
                     self.issue_prefetch(core, line + LINE_BYTES_U64, release_at);
                 }
+                let occupancy = self.cores[cidx].mshr.occupancy() as u32;
+                if let Some(ring) = &mut self.trace {
+                    ring.emit(now, TraceEvent::MshrAlloc { core, merged: false, occupancy });
+                }
                 AccessResult::Miss { req, tlb_miss }
             }
             MshrAlloc::Merged => {
                 self.cores[cidx].stats.mshr_merges += 1;
+                let occupancy = self.cores[cidx].mshr.occupancy() as u32;
+                if let Some(ring) = &mut self.trace {
+                    ring.emit(now, TraceEvent::MshrAlloc { core, merged: true, occupancy });
+                }
                 AccessResult::Miss { req, tlb_miss }
             }
             MshrAlloc::Full => {
@@ -645,6 +660,10 @@ impl MemorySystem {
                             BankOp::Demand { write },
                             now,
                         );
+                        let depth = self.banks[bank].queued() as u32;
+                        if let Some(ring) = &mut self.trace {
+                            ring.emit(now, TraceEvent::L2BankEnqueue { bank: bank as u32, depth });
+                        }
                     }
                     BusItem::Writeback { addr } => {
                         let bank = self.bank_index(cluster as u32, addr);
@@ -654,6 +673,10 @@ impl MemorySystem {
                             BankOp::Writeback,
                             now,
                         );
+                        let depth = self.banks[bank].queued() as u32;
+                        if let Some(ring) = &mut self.trace {
+                            ring.emit(now, TraceEvent::L2BankEnqueue { bank: bank as u32, depth });
+                        }
                     }
                 }
             }
@@ -722,17 +745,28 @@ impl MemorySystem {
             }
             match token {
                 DramToken::Demand(req) => {
-                    let (bank, line, core) = match self.inflight.get(req) {
+                    let (bank, line, core, issued_at) = match self.inflight.get(req) {
                         Some(fl) => {
                             let cluster = self.cfg.cluster_of(fl.core);
                             (
                                 self.bank_index(cluster, fl.addr),
                                 line_base(fl.addr),
                                 fl.core,
+                                fl.issued_at,
                             )
                         }
                         None => continue,
                     };
+                    self.dram_round_trips += 1;
+                    if let Some(ring) = &mut self.trace {
+                        ring.emit(
+                            now,
+                            TraceEvent::DramRoundTrip {
+                                core,
+                                latency: now.saturating_sub(issued_at),
+                            },
+                        );
+                    }
                     // Install in L2 (occupies the bank port) and hand the
                     // data to the core right away (critical-word-first
                     // forwarding past the fill).
@@ -768,6 +802,10 @@ impl MemorySystem {
             Some(e) => e,
             None => return,
         };
+        let occupancy = self.cores[cidx].mshr.occupancy() as u32;
+        if let Some(ring) = &mut self.trace {
+            ring.emit(now, TraceEvent::MshrRetire { core: fl.core, occupancy });
+        }
 
         // Refill the right L1 once; stores install dirty lines.
         let mut fill_dirty = false;
@@ -854,6 +892,31 @@ impl MemorySystem {
     /// Per-bank (serviced, queue-delay-sum, peak-queue) tuples.
     pub fn bank_stats(&self) -> Vec<(u64, u64, usize)> {
         self.banks.iter().map(|b| b.stats()).collect()
+    }
+
+    /// Per-bank L2 `(hits, misses)` tuples (feeds the
+    /// `mem.l2.bank_miss_rate` metric).
+    pub fn bank_cache_stats(&self) -> Vec<(u64, u64)> {
+        self.banks.iter().map(|b| b.cache_stats()).collect()
+    }
+
+    /// Demand responses DRAM has returned so far (feeds the
+    /// `mem.dram.round_trips` metric).
+    pub fn dram_round_trips(&self) -> u64 {
+        self.dram_round_trips
+    }
+
+    /// Start recording trace events into a ring keeping the most
+    /// recent `capacity` records (DESIGN.md §12). Off by default; the
+    /// disabled path costs one branch per instrumentation point.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(EventRing::new(capacity));
+    }
+
+    /// The memory system's event ring (`None` unless
+    /// [`Self::enable_trace`] was called).
+    pub fn trace(&self) -> Option<&EventRing> {
+        self.trace.as_ref()
     }
 
     /// Mean bus input-queue length (contention indicator), averaged

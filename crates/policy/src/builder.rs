@@ -49,7 +49,7 @@ pub enum PolicyKind {
     /// Round-robin fetch (ISCA'96 baseline; extension).
     RoundRobin,
     /// DCRA-style dynamic resource allocation (MICRO'04, the paper's
-    /// reference [3]; extension).
+    /// reference \[3\]; extension).
     Dcra,
     /// FLUSH with an online hill-climbed trigger (extension motivated by
     /// Fig. 5's workload-dependent best trigger).

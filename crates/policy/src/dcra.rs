@@ -1,5 +1,5 @@
 //! DCRA-style dynamically controlled resource allocation (Cazorla,
-//! Fernández, Ramirez & Valero, MICRO'04 — the paper's reference [3]).
+//! Fernández, Ramirez & Valero, MICRO'04 — the paper's reference \[3\]).
 //!
 //! Where FLUSH reacts to long-latency loads by squashing, DCRA prevents
 //! monopolisation up front: threads are classified every cycle as

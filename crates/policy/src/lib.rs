@@ -21,7 +21,7 @@
 //! Extensions beyond the paper's evaluation: [`RoundRobinPolicy`],
 //! [`BrcountPolicy`], [`L1dMissCountPolicy`], the ADTS-style adaptive
 //! meta-policy [`AdtsPolicy`], the DCRA-style [`DcraPolicy`] (the
-//! paper's reference [3]), the hill-climbed [`AdaptiveFlushPolicy`] and
+//! paper's reference \[3\]), the hill-climbed [`AdaptiveFlushPolicy`] and
 //! the load-miss-predictor [`MissPredictFlushPolicy`].
 //!
 //! ```
@@ -51,6 +51,7 @@ pub mod count_variants;
 pub mod dcra;
 pub mod flush;
 pub mod icount;
+pub mod metrics;
 pub mod mflush;
 pub mod miss_predictor;
 pub mod rr;
@@ -64,6 +65,7 @@ pub use count_variants::{BrcountPolicy, L1dMissCountPolicy};
 pub use dcra::DcraPolicy;
 pub use flush::{FlushPolicy, FlushTrigger};
 pub use icount::IcountPolicy;
+pub use metrics::METRICS;
 pub use mflush::{McRegFile, McRegReducer, MflushConfig, MflushPolicy};
 pub use miss_predictor::{LoadMissPredictor, MissPredictFlushPolicy};
 pub use rr::RoundRobinPolicy;

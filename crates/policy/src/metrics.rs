@@ -1,0 +1,21 @@
+//! The policy crate's metric registrations (DESIGN.md §12).
+//!
+//! Lint rule D8 cross-checks every `MetricSpec` here against
+//! METRICS.md. The trigger counts themselves live in the core model
+//! (it executes the response actions); this crate owns the *rate*
+//! metric because the rate is the policy-comparison figure of merit.
+
+use smtsim_obs::{MetricKind, MetricSpec};
+
+/// Policy response actions (flushes + stalls) per kilocycle per core.
+pub const METRIC_TRIGGER_RATE: MetricSpec = MetricSpec {
+    name: "policy.trigger_rate",
+    unit: "events/kilocycle",
+    kind: MetricKind::Gauge,
+    krate: "policy",
+    doc: "Fetch-policy response actions (FLUSH + STALL) executed per kilocycle per core over the last sampling interval.",
+    figure: "Fig. 5",
+};
+
+/// All policy-crate metrics, in registration order.
+pub const METRICS: &[MetricSpec] = &[METRIC_TRIGGER_RATE];

@@ -1,11 +1,18 @@
 //! Quickstart: simulate one of the paper's workloads under MFLUSH.
 //!
 //! ```text
-//! cargo run --release --example quickstart [WORKLOAD] [CYCLES]
+//! cargo run --release --example quickstart [WORKLOAD] [CYCLES] [TRACE_FILE]
 //! cargo run --release --example quickstart 6W3 200000
+//! cargo run --release --example quickstart 8W3 200000 /tmp/8w3.jsonl
 //! ```
+//!
+//! With a third argument the run also records the cycle-level event
+//! trace plus interval metric samples (DESIGN.md §12) and writes them
+//! as JSONL — see METRICS.md for every metric name.
 
 use mflush::prelude::*;
+use mflush::sim::config::{DEFAULT_METRICS_INTERVAL, DEFAULT_TRACE_CAPACITY};
+use mflush::sim::obs;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -14,6 +21,7 @@ fn main() {
         .get(1)
         .and_then(|c| c.parse().ok())
         .unwrap_or(100_000);
+    let trace_file = args.get(2);
 
     let w = Workload::by_name(workload).unwrap_or_else(|| {
         eprintln!("unknown workload {workload}; use 2W1..8W5");
@@ -28,10 +36,23 @@ fn main() {
     );
 
     let cfg = SimConfig::for_workload(w, PolicyKind::Mflush).with_cycles(cycles);
-    let result = Simulator::build(&cfg)
-        .expect("paper workload configs are valid")
-        .run()
+    let mut sim = Simulator::build(&cfg).expect("paper workload configs are valid");
+    if trace_file.is_some() {
+        sim.enable_tracing(DEFAULT_TRACE_CAPACITY);
+        sim.enable_metrics(DEFAULT_METRICS_INTERVAL.min(cycles.max(1)));
+    }
+    sim.step(cycles)
         .expect("paper workloads make forward progress");
+    let result = sim.snapshot();
+
+    if let Some(path) = trace_file {
+        let jsonl = obs::observability_jsonl(&sim.trace_rows(), sim.metrics_samples());
+        std::fs::write(path, &jsonl).expect("write trace file");
+        println!(
+            "wrote {} trace/metric lines to {path}\n",
+            jsonl.lines().count()
+        );
+    }
 
     println!("policy            {}", result.policy);
     println!("system throughput {:.4} IPC", result.throughput());

@@ -32,6 +32,20 @@ cargo test -q --offline -p smtsim-trace --test corruption
 cargo test -q --offline -p smtsim-mem --lib fault
 scripts/kill_resume_smoke.sh
 
+echo "== observability (trace determinism, METRICS.md drift) =="
+# Gate 5: the observability suite (DESIGN.md §12). Also part of the
+# workspace test gate; named here because the METRICS.md drift test is
+# the doc-generation contract (BLESS=1 regenerates) and the trace
+# byte-identity tests are the feature's whole determinism claim.
+cargo test -q --offline -p smtsim-core --test obs_trace
+cargo test -q --offline -p smtsim-core --test metrics_doc
+
+echo "== rustdoc (-D warnings) =="
+# Gate 6: the API reference must build warning-free (missing docs on
+# the core/obs surfaces are warnings via #![warn(missing_docs)], and
+# broken intra-doc links are rejected here).
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
+
 echo "== clippy (-D warnings) =="
 if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --offline --workspace --all-targets -- -D warnings

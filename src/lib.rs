@@ -9,6 +9,7 @@
 //! * [`cpu`] — the SMT out-of-order core model
 //! * [`policy`] — ICOUNT / FLUSH / STALL / MFLUSH fetch policies
 //! * [`energy`] — the Energy-Consumption-Factor model
+//! * [`obs`] — trace events, event rings, metric registration
 //! * [`sim`] — CMP+SMT simulator driver, workloads, experiment runner
 //!
 //! ## Quickstart
@@ -29,6 +30,7 @@
 pub use smtsim_cpu as cpu;
 pub use smtsim_energy as energy;
 pub use smtsim_mem as mem;
+pub use smtsim_obs as obs;
 pub use smtsim_policy as policy;
 pub use smtsim_core as sim;
 pub use smtsim_trace as trace;
