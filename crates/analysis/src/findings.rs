@@ -29,10 +29,12 @@ pub enum Rule {
     /// Every registered metric must be documented in METRICS.md, and
     /// METRICS.md must not document metrics that no longer exist.
     D8,
+    /// No reduced-fidelity components in golden-figure drivers.
+    D9,
 }
 
 /// All rules, in id order.
-pub const ALL_RULES: [Rule; 8] = [
+pub const ALL_RULES: [Rule; 9] = [
     Rule::D1,
     Rule::D2,
     Rule::D3,
@@ -41,6 +43,7 @@ pub const ALL_RULES: [Rule; 8] = [
     Rule::D6,
     Rule::D7,
     Rule::D8,
+    Rule::D9,
 ];
 
 impl Rule {
@@ -55,6 +58,7 @@ impl Rule {
             Rule::D6 => "D6",
             Rule::D7 => "D7",
             Rule::D8 => "D8",
+            Rule::D9 => "D9",
         }
     }
 
@@ -69,6 +73,7 @@ impl Rule {
             Rule::D6 => "no floating-point cycle/counter struct fields or float accumulation into counters",
             Rule::D7 => "no catch_unwind outside crates/core/src/sweep.rs (panic isolation has one blessed boundary)",
             Rule::D8 => "every registered MetricSpec name must appear in METRICS.md, and METRICS.md must not list unregistered metrics",
+            Rule::D9 => "no reduced-fidelity components (FastMemory, IpcApproxCore, FastTraceGenerator, with_fidelity) in golden-figure drivers without an inline waiver",
         }
     }
 
@@ -179,7 +184,7 @@ mod tests {
         for r in ALL_RULES {
             assert_eq!(Rule::parse(r.id()), Some(r));
         }
-        assert_eq!(Rule::parse("D9"), None);
+        assert_eq!(Rule::parse("D10"), None);
     }
 
     #[test]

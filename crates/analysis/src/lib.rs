@@ -20,6 +20,7 @@
 //! | D6 | no floating-point cycle/counter fields or accumulation |
 //! | D7 | no `catch_unwind` outside the sweep's panic boundary |
 //! | D8 | the metric registry and METRICS.md must agree, both ways |
+//! | D9 | golden-figure drivers must not use reduced-fidelity components |
 //!
 //! Violations can be suppressed with an inline
 //! `// lint: allow(<rule>) -- <reason>` waiver ([`waiver`]) or a

@@ -1,0 +1,13 @@
+//! Fixture: a golden-figure driver that reaches for the fast models.
+
+pub fn fig1(cfg: SimConfig) -> SimResult {
+    // D9: figures must come from the detailed models.
+    let cfg = cfg.with_fidelity(Fidelity::fast());
+    run(cfg)
+}
+
+pub fn fig2_waived(cfg: SimConfig) -> SimResult {
+    // lint: allow(D9) -- sanity overlay comparing fast-model trends, not published numbers
+    let fast = FastMemory::new(cfg.mem);
+    overlay(fast)
+}

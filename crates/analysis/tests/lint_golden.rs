@@ -65,15 +65,17 @@ fn fixture_findings_cover_every_rule() {
             rule.id()
         );
     }
-    // One D3 is waived inline; everything else is raw.
-    assert_eq!(report.waived_count(), 1);
+    // One D3 and one D9 are waived inline; everything else is raw.
+    assert_eq!(report.waived_count(), 2);
     assert!(report.unwaived_count() > 0);
-    // The sanctioned wall-clock user and test regions stay silent.
+    // The sanctioned wall-clock user and test regions stay silent
+    // (the bench tree still gets D9 findings — its figure drivers are
+    // exactly where that rule bites).
     assert!(
         !report
             .findings
             .iter()
-            .any(|f| f.path.starts_with("crates/bench/")),
+            .any(|f| f.rule == Rule::D2 && f.path.starts_with("crates/bench/")),
         "crates/bench must be exempt from D2"
     );
 }

@@ -96,6 +96,20 @@ pub fn profile_run(cfg: &SimConfig) -> Result<(PhaseProfile, SimResult), SimErro
     Ok((prof, result))
 }
 
+/// Like [`profile_run`] but with the observability layer off (no event
+/// tracing, no interval metrics): build / simulate / snapshot only.
+/// This is the mode for comparing *model* cost across fidelities — the
+/// per-event tracing overhead scales with committed instructions, so
+/// it taxes a high-IPC reduced-fidelity run disproportionately and
+/// would understate the model speedup it exists to measure.
+pub fn profile_run_plain(cfg: &SimConfig) -> Result<(PhaseProfile, SimResult), SimError> {
+    let mut prof = PhaseProfile::new();
+    let mut sim = prof.time("build", || Simulator::build(cfg))?;
+    prof.time("simulate", || sim.step(cfg.cycles))?;
+    let result = prof.time("snapshot", || sim.snapshot());
+    Ok((prof, result))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! smtsim run --workload 8W3 --policy mflush --cycles 200000
+//! smtsim run --workload 8W3 --fidelity mem=fast,core=approx --json
 //! smtsim run --benchmarks mcf,gzip,swim,crafty --policy flush-s50 --json
 //! smtsim run --workload 4W3 --policy flush-s30 --trace-events trace.jsonl --metrics-interval 5000
 //! smtsim run --workload 4W3 --trace-events trace.json --trace-format chrome
@@ -21,8 +22,9 @@
 use smtsim_core::calibration::{calibrate, calibration_json, calibration_table};
 use smtsim_core::json::{write_escaped, JsonObject};
 use smtsim_core::report::{histogram_table, results_csv, throughput_table};
+use smtsim_core::suggest::did_you_mean;
 use smtsim_core::workloads::{ALL_WORKLOADS, FIG5B_WORKLOAD};
-use smtsim_core::{run_sweep_journaled, SimConfig, Simulator, SweepJob, ToJson, Workload};
+use smtsim_core::{run_sweep_journaled, Fidelity, SimConfig, Simulator, SweepJob, ToJson, Workload};
 use smtsim_policy::PolicyKind;
 use smtsim_trace::spec;
 use std::path::PathBuf;
@@ -31,9 +33,10 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          smtsim run --workload <xWy> [--policy <p>] [--cycles N] [--seed N] [--json]\n             \
+         [--fidelity mem=<detailed|fast>,core=<detailed|approx>]\n             \
          [--trace-events FILE] [--metrics-interval N] [--trace-format jsonl|chrome]\n  \
          smtsim run --benchmarks a,b,c,d [--policy <p>] [--cycles N] [--json]\n  \
-         smtsim sweep --workload <xWy> [--cycles N] [--journal FILE] [--csv | --json]\n  \
+         smtsim sweep --workload <xWy> [--cycles N] [--fidelity ...] [--journal FILE] [--csv | --json]\n  \
          smtsim calibrate [--cycles N] [--json]\n  \
          smtsim workloads | policies\n\n\
          policies: icount, rr, brcount, l1dmisscount, adts, dcra,\n           \
@@ -45,46 +48,8 @@ fn usage() -> ! {
 // ----------------------------------------------------------------
 // "did you mean" support for unknown names
 // ----------------------------------------------------------------
-
-/// Edit distance with adjacent transpositions counted as one edit
-/// (optimal string alignment — `mfc` is one typo from `mcf`, not two).
-/// Case-sensitive; callers lowercase both sides first.
-fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    // Three rolling rows: i-2, i-1, i.
-    let mut prev2: Vec<usize> = vec![0; b.len() + 1];
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            let mut best = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
-            if i > 0 && j > 0 && ca == b[j - 1] && a[i - 1] == cb {
-                best = best.min(prev2[j - 1] + 1);
-            }
-            cur[j + 1] = best;
-        }
-        std::mem::swap(&mut prev2, &mut prev);
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[b.len()]
-}
-
-/// Closest candidate within an input-length-scaled edit budget. Short
-/// names tolerate one edit, longer ones up to a third of their length;
-/// anything further is noise, not a typo.
-fn did_you_mean<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
-    let input = input.to_ascii_lowercase();
-    let budget = (input.len() / 3).max(1);
-    candidates
-        .iter()
-        .map(|c| (levenshtein(&input, &c.to_ascii_lowercase()), *c))
-        .filter(|(d, _)| *d <= budget)
-        .min_by_key(|(d, _)| *d)
-        .map(|(_, c)| c)
-}
+// The edit-distance machinery lives in `smtsim_core::suggest` (shared
+// with `SimConfig::validate`'s unknown-benchmark hints).
 
 /// Report an unknown name with a typo suggestion and exit 2.
 fn unknown_name(kind: &str, input: &str, candidates: &[&str], hint: &str) -> ! {
@@ -202,12 +167,25 @@ impl Args {
     }
 }
 
+/// Parse `--fidelity mem=fast,core=approx` (absent → detailed).
+/// Unknown components or fidelity names are usage errors: exit 2.
+fn parse_fidelity_arg(args: &Args) -> Fidelity {
+    match args.get("fidelity") {
+        None => Fidelity::detailed(),
+        Some(spec) => Fidelity::parse(spec).unwrap_or_else(|e| {
+            eprintln!("bad value for --fidelity: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
 fn build_config(args: &Args, policy: PolicyKind) -> SimConfig {
+    let fidelity = parse_fidelity_arg(args);
     if let Some(wl) = args.get("workload") {
         let w = Workload::by_name(wl).unwrap_or_else(|| {
             unknown_name("workload", wl, &workload_names(), "try `smtsim workloads`");
         });
-        SimConfig::for_workload(w, policy)
+        SimConfig::for_workload(w, policy).with_fidelity(fidelity)
     } else if let Some(list) = args.get("benchmarks") {
         let names: Vec<&str> = list.split(',').collect();
         if !names.len().is_multiple_of(2) {
@@ -224,7 +202,7 @@ fn build_config(args: &Args, policy: PolicyKind) -> SimConfig {
                 );
             }
         }
-        SimConfig::for_benchmarks(&names, policy)
+        SimConfig::for_benchmarks(&names, policy).with_fidelity(fidelity)
     } else {
         eprintln!("need --workload or --benchmarks");
         usage();
@@ -456,16 +434,6 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn edit_distance_basics() {
-        assert_eq!(levenshtein("", ""), 0);
-        assert_eq!(levenshtein("abc", "abc"), 0);
-        assert_eq!(levenshtein("abc", ""), 3);
-        assert_eq!(levenshtein("kitten", "sitting"), 3);
-        assert_eq!(levenshtein("mflush", "mflsh"), 1);
-        assert_eq!(levenshtein("mfc", "mcf"), 1, "transposition is one edit");
-    }
 
     #[test]
     fn suggestions_catch_close_typos() {

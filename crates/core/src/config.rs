@@ -1,5 +1,7 @@
 //! Experiment configuration.
 
+use crate::suggest::did_you_mean;
+use crate::topology::{Fidelity, Topology};
 use crate::workloads::Workload;
 use smtsim_cpu::CoreConfig;
 use smtsim_mem::MemConfig;
@@ -43,6 +45,10 @@ pub const DEFAULT_METRICS_INTERVAL: u64 = 10_000;
 /// One complete experiment: machine + workload + policy + interval.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
+    /// Explicit machine geometry and per-component fidelity
+    /// (DESIGN.md §13). `validate` cross-checks `core`, `mem` and the
+    /// benchmark list against it.
+    pub topology: Topology,
     /// Per-core configuration (Fig. 1 defaults).
     pub core: CoreConfig,
     /// Memory hierarchy configuration; `num_cores` must match the
@@ -68,6 +74,7 @@ impl SimConfig {
     /// Experiment on a paper workload with Fig. 1 machine defaults.
     pub fn for_workload(workload: &Workload, policy: PolicyKind) -> Self {
         SimConfig {
+            topology: Topology::paper(workload.cores()),
             core: CoreConfig::paper(),
             mem: MemConfig::paper(workload.cores()),
             policy,
@@ -85,9 +92,11 @@ impl SimConfig {
 
     /// Ad-hoc experiment from benchmark names (must be an even count).
     pub fn for_benchmarks(benchmarks: &[&str], policy: PolicyKind) -> Self {
+        let cores = (benchmarks.len() / 2).max(1) as u32;
         SimConfig {
+            topology: Topology::paper(cores),
             core: CoreConfig::paper(),
-            mem: MemConfig::paper((benchmarks.len() / 2).max(1) as u32),
+            mem: MemConfig::paper(cores),
             policy,
             benchmarks: benchmarks.iter().map(|s| s.to_string()).collect(),
             cycles: DEFAULT_CYCLES,
@@ -115,9 +124,22 @@ impl SimConfig {
         self
     }
 
-    /// Number of SMT cores.
+    /// Builder-style override of the per-component fidelity.
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.topology.fidelity = fidelity;
+        self
+    }
+
+    /// The per-component fidelity this experiment runs at.
+    pub fn fidelity(&self) -> Fidelity {
+        self.topology.fidelity
+    }
+
+    /// Number of SMT cores — the declared topology, not a division of
+    /// the benchmark list (`validate` checks the list fills it
+    /// exactly).
     pub fn cores(&self) -> u32 {
-        (self.benchmarks.len() / self.core.contexts as usize) as u32
+        self.topology.cores
     }
 
     /// The policy environment the machine parameters imply (feeds
@@ -137,28 +159,62 @@ impl SimConfig {
 
     /// Validate the experiment.
     pub fn validate(&self) -> Result<(), String> {
+        self.topology.validate()?;
         self.core.validate()?;
         self.mem.validate()?;
+        if self.topology.contexts_per_core != self.core.contexts {
+            return Err(format!(
+                "topology declares {} contexts per core but the core config has {}",
+                self.topology.contexts_per_core, self.core.contexts
+            ));
+        }
+        if self.topology.l2_clusters != self.mem.l2_clusters {
+            return Err(format!(
+                "topology declares {} L2 clusters but the mem config has {}",
+                self.topology.l2_clusters, self.mem.l2_clusters
+            ));
+        }
+        if self.topology.cores != self.mem.num_cores {
+            return Err(format!(
+                "topology declares {} cores but mem config has {}",
+                self.topology.cores, self.mem.num_cores
+            ));
+        }
         if self.benchmarks.is_empty() {
             return Err("no benchmarks".into());
         }
-        if !self.benchmarks.len().is_multiple_of(self.core.contexts as usize) {
+        let contexts = self.core.contexts as usize;
+        if !self.benchmarks.len().is_multiple_of(contexts) {
+            // Reported before any cores-vs-benchmarks comparison: a
+            // truncating division here used to let e.g. 5 benchmarks
+            // masquerade as 2 cores' worth.
             return Err(format!(
-                "{} benchmarks do not fill {}-context cores",
+                "{} benchmarks cannot be split into {}-context cores: \
+                 give a multiple of {} benchmark names (one per hardware thread)",
                 self.benchmarks.len(),
-                self.core.contexts
+                contexts,
+                contexts
             ));
         }
-        if self.cores() != self.mem.num_cores {
+        if self.benchmarks.len() != self.topology.threads() {
             return Err(format!(
-                "workload needs {} cores but mem config has {}",
-                self.cores(),
-                self.mem.num_cores
+                "{} benchmarks but the topology has {} threads ({} cores x {} contexts)",
+                self.benchmarks.len(),
+                self.topology.threads(),
+                self.topology.cores,
+                self.topology.contexts_per_core
             ));
         }
+        let known: Vec<&str> = smtsim_trace::spec::ALL_BENCHMARKS
+            .iter()
+            .map(|b| b.name)
+            .collect();
         for b in &self.benchmarks {
             if smtsim_trace::spec::benchmark_by_name(b).is_none() {
-                return Err(format!("unknown benchmark {b}"));
+                return Err(match did_you_mean(b, &known) {
+                    Some(s) => format!("unknown benchmark {b} (did you mean '{s}'?)"),
+                    None => format!("unknown benchmark {b}"),
+                });
             }
         }
         if self.cycles == 0 {
@@ -207,6 +263,66 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.benchmarks[1] = "mcf".into();
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_benchmark_gets_typo_hint() {
+        let cfg = SimConfig::for_benchmarks(&["gzip", "mfc"], PolicyKind::Icount);
+        let err = cfg.validate().unwrap_err();
+        assert!(
+            err.contains("did you mean 'mcf'?"),
+            "expected a suggestion, got: {err}"
+        );
+        // Garbage far from any name still errors, just without a hint.
+        let cfg = SimConfig::for_benchmarks(&["gzip", "zzzzzzzz"], PolicyKind::Icount);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("unknown benchmark") && !err.contains("did you mean"));
+    }
+
+    #[test]
+    fn odd_benchmark_count_rejected_with_clear_message() {
+        let w = Workload::by_name("4W1").unwrap();
+        let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount);
+        cfg.benchmarks.pop();
+        let err = cfg.validate().unwrap_err();
+        assert!(
+            err.contains("3 benchmarks") && err.contains("2-context"),
+            "message must name the count and the context width, got: {err}"
+        );
+    }
+
+    #[test]
+    fn benchmark_count_must_fill_declared_topology() {
+        let w = Workload::by_name("4W1").unwrap();
+        let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount);
+        // Even count (passes the multiple-of-contexts gate) but one
+        // whole core short of the declared 2-core topology.
+        cfg.benchmarks.truncate(2);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("topology has 4 threads"), "{err}");
+    }
+
+    #[test]
+    fn fidelity_defaults_detailed_and_overrides() {
+        use crate::topology::Fidelity;
+        let w = Workload::by_name("2W1").unwrap();
+        let cfg = SimConfig::for_workload(w, PolicyKind::Icount);
+        assert_eq!(cfg.fidelity(), Fidelity::detailed());
+        let cfg = cfg.with_fidelity(Fidelity::fast());
+        assert_eq!(cfg.fidelity(), Fidelity::fast());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn topology_cross_checks_catch_drift() {
+        let w = Workload::by_name("2W1").unwrap();
+        let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount);
+        cfg.topology.contexts_per_core = 4;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("contexts per core"), "{err}");
+        let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount);
+        cfg.topology.l2_clusters = 2;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

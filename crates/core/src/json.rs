@@ -242,6 +242,16 @@ impl JsonValue {
         }
     }
 
+    /// The value as a float, widening integers (all JSON numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v as f64),
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The value as a string, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -650,9 +660,12 @@ impl ToJson for SimConfig {
             .field("warmup", &self.warmup)
             .field("watchdog_cycles", &self.watchdog_cycles)
             .field("cores", &self.cores())
+            // validate() pins core.contexts == topology.contexts_per_core;
+            // emitting the core-side field keeps `core` in the report.
             .field("contexts_per_core", &self.core.contexts)
             .field("l2_banks", &self.mem.l2_banks)
-            .field("l2_clusters", &self.mem.l2_clusters);
+            .field("l2_clusters", &self.topology.l2_clusters)
+            .field("fidelity", &self.topology.fidelity.label());
         o.end();
     }
 }

@@ -3,16 +3,19 @@
 //! # smtsim-core — CMP+SMT simulator driver for the MFLUSH reproduction
 //!
 //! Assembles the full machine of the paper: `N` two-context SMT cores
-//! ([`smtsim_cpu::SmtCore`]) sharing one banked L2
-//! ([`smtsim_mem::MemorySystem`]), each core running a pluggable fetch
+//! ([`smtsim_cpu::SmtCore`]) sharing one banked L2 behind
+//! ([`smtsim_mem::MemoryModel`]), each core running a pluggable fetch
 //! policy ([`smtsim_policy`]), fed by synthetic SPEC2000 traces
 //! ([`smtsim_trace`]), with the paper's energy accounting
 //! ([`smtsim_energy`]).
 //!
 //! * [`workloads`] — the paper's Fig. 1 workload table (2W1 … 8W5) plus
 //!   the Fig. 5(b) special bzip2/twolf workload;
+//! * [`topology`] — explicit machine geometry (cores, contexts per
+//!   core, L2 clusters) plus the per-component fidelity selection
+//!   (DESIGN.md §13), with a validating builder;
 //! * [`config`] — one [`config::SimConfig`] describes a complete
-//!   experiment (machine + workload + policy + interval);
+//!   experiment (topology + machine + workload + policy + interval);
 //! * [`sim`] — the cycle-level driver;
 //! * [`result`] — measurement snapshot with throughput/energy helpers;
 //! * [`sweep`] — a `std::thread::scope` parallel runner for parameter
@@ -33,7 +36,9 @@ pub mod obs;
 pub mod report;
 pub mod result;
 pub mod sim;
+pub mod suggest;
 pub mod sweep;
+pub mod topology;
 pub mod workloads;
 
 pub use calibration::{calibrate, calibrate_one, CalRow};
@@ -41,6 +46,7 @@ pub use error::{CoreDiagnostic, ProgressDiagnostic, SimError};
 pub use json::ToJson;
 pub use obs::{MetricsRecorder, TraceRow};
 pub use config::SimConfig;
+pub use topology::{CoreFidelity, Fidelity, MemFidelity, Topology, TopologyBuilder};
 pub use result::SimResult;
 pub use sim::Simulator;
 pub use sweep::{run_sweep, run_sweep_journaled, run_sweep_ok, SweepJob};

@@ -1,9 +1,13 @@
 //! The cycle-level CMP+SMT simulator.
 //!
 //! A [`Simulator`] owns `N` [`SmtCore`]s and the shared
-//! [`MemorySystem`]. Each cycle the memory system advances first, then
+//! [`MemoryModel`]. Each cycle the memory system advances first, then
 //! every core, in id order — matching the in-order tick protocol the
-//! component crates document.
+//! component crates document. Which implementation sits behind each
+//! facade — the detailed golden-figure models or the reduced
+//! fast-forward ones — is chosen by the config's
+//! [`crate::topology::Topology`] fidelity section (DESIGN.md §13);
+//! the driver itself is fidelity-agnostic.
 //!
 //! The cycle loop carries a forward-progress watchdog: if no core
 //! commits an instruction and no memory transaction retires for
@@ -19,15 +23,16 @@ use crate::result::SimResult;
 use smtsim_obs::MetricSample;
 use smtsim_cpu::thread::ThreadProgram;
 use smtsim_cpu::SmtCore;
-use smtsim_mem::MemorySystem;
+use smtsim_mem::MemoryModel;
 use smtsim_policy::build_policy;
-use smtsim_trace::{spec, TraceGenerator};
+use smtsim_cpu::CoreFidelity;
+use smtsim_trace::{spec, FastTraceGenerator, TraceGenerator};
 
 /// A built machine ready to run.
 pub struct Simulator {
     cfg: SimConfig,
     cores: Vec<SmtCore>,
-    mem: MemorySystem,
+    mem: MemoryModel,
     now: u64,
     /// Per-core committed-instruction count at the last observation.
     last_committed: Vec<u64>,
@@ -50,7 +55,8 @@ impl Simulator {
         cfg.validate().map_err(SimError::InvalidConfig)?;
         let env = cfg.policy_env();
         let contexts = cfg.core.contexts as usize;
-        let mem = MemorySystem::new(cfg.mem);
+        let fidelity = cfg.fidelity();
+        let mem = MemoryModel::new(cfg.mem, fidelity.mem);
         let num_cores = cfg.cores() as usize;
         let mut cores = Vec::with_capacity(num_cores);
         for core_id in 0..cfg.cores() {
@@ -62,12 +68,19 @@ impl Simulator {
                     // rather than a panic: build is fallible now.
                     || SimError::InvalidConfig(format!("unknown benchmark {}", cfg.benchmarks[global])),
                 )?;
-                programs.push(ThreadProgram::from_generator(TraceGenerator::new(
-                    profile,
-                    cfg.seed + global as u64 * 7919,
-                )));
+                let seed = cfg.seed + global as u64 * 7919;
+                // The IPC-approx backend reads no register operands, so
+                // it gets the dependency-free generator (same code
+                // layout and address-stream shape, far cheaper per
+                // instruction — DESIGN.md §13).
+                programs.push(if fidelity.core == CoreFidelity::IpcApprox {
+                    ThreadProgram::from_fast_generator(FastTraceGenerator::new(profile, seed))
+                } else {
+                    ThreadProgram::from_generator(TraceGenerator::new(profile, seed))
+                });
             }
-            cores.push(SmtCore::new(
+            cores.push(SmtCore::with_fidelity(
+                fidelity.core,
                 core_id,
                 cfg.core,
                 build_policy(cfg.policy, &env),
@@ -256,8 +269,8 @@ impl Simulator {
         &self.cores
     }
 
-    /// The shared memory system.
-    pub fn mem(&self) -> &MemorySystem {
+    /// The shared memory model.
+    pub fn mem(&self) -> &MemoryModel {
         &self.mem
     }
 }

@@ -1,0 +1,265 @@
+//! Pluggable-fidelity equivalence and robustness suite (DESIGN.md §13).
+//!
+//! The refactor's load-bearing invariant: with
+//! `fidelity = mem=detailed,core=detailed` (the default), every code
+//! path — single run, policy sweep, journaled sweep with replay —
+//! reproduces the pre-refactor output **byte for byte**. The fixtures
+//! under `fixtures/fidelity/` were captured from the pre-refactor
+//! binary (CLI default seed `0x5eed`; the mflush fixture pins
+//! `--seed 7`) and are compared as raw bytes, never as parsed values.
+//!
+//! The reduced fidelities get the complementary guarantees: same-seed
+//! byte-determinism, and config validation that *returns*
+//! `SimError::InvalidConfig` instead of panicking, whatever geometry a
+//! caller invents.
+
+use smtsim_core::json::{write_escaped, JsonObject};
+use smtsim_core::topology::{CoreFidelity, MemFidelity};
+use smtsim_core::{
+    run_sweep_journaled, Fidelity, SimConfig, SimError, Simulator, SweepJob, ToJson, Topology,
+    Workload,
+};
+use smtsim_policy::PolicyKind;
+
+fn golden(name: &str) -> String {
+    let path = format!(
+        "{}/tests/fixtures/fidelity/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"))
+}
+
+/// What `smtsim run --json` printed: the result JSON plus the trailing
+/// newline from `println!`.
+fn run_stdout(cfg: &SimConfig) -> String {
+    let r = Simulator::build(cfg).unwrap().run().unwrap();
+    format!("{}\n", r.to_json())
+}
+
+#[test]
+fn detailed_run_reproduces_pre_refactor_goldens() {
+    let cases: [(&str, &str, PolicyKind, u64, Option<u64>); 3] = [
+        (
+            "run_4W3_flush-s30_c6000.golden.json",
+            "4W3",
+            PolicyKind::FlushSpec(30),
+            6_000,
+            None,
+        ),
+        (
+            "run_2W1_mflush_c10000_s7.golden.json",
+            "2W1",
+            PolicyKind::Mflush,
+            10_000,
+            Some(7),
+        ),
+        (
+            "run_8W2_icount_c4000.golden.json",
+            "8W2",
+            PolicyKind::Icount,
+            4_000,
+            None,
+        ),
+    ];
+    for (fixture, workload, policy, cycles, seed) in cases {
+        let w = Workload::by_name(workload).unwrap();
+        let mut cfg = SimConfig::for_workload(w, policy).with_cycles(cycles);
+        if let Some(s) = seed {
+            cfg = cfg.with_seed(s);
+        }
+        assert_eq!(
+            cfg.fidelity(),
+            Fidelity::detailed(),
+            "default fidelity must be the golden-figure one"
+        );
+        assert_eq!(
+            run_stdout(&cfg),
+            golden(fixture),
+            "{workload}/{policy:?} diverged from the pre-refactor bytes"
+        );
+    }
+}
+
+/// The exact job list `smtsim sweep` builds, for one workload.
+fn sweep_jobs(workload: &str, cycles: u64) -> Vec<SweepJob> {
+    let w = Workload::by_name(workload).unwrap();
+    [
+        PolicyKind::Icount,
+        PolicyKind::FlushSpec(30),
+        PolicyKind::FlushSpec(100),
+        PolicyKind::FlushNonSpec,
+        PolicyKind::StallSpec(30),
+        PolicyKind::Mflush,
+        PolicyKind::Dcra,
+    ]
+    .iter()
+    .map(|p| {
+        SweepJob::new(
+            p.label(),
+            SimConfig::for_workload(w, *p).with_cycles(cycles),
+        )
+    })
+    .collect()
+}
+
+/// The `a+b` workload label `smtsim sweep` prints, recovered from the
+/// first successful job so the fixture stays the single source of
+/// truth for benchmark names.
+fn out_workload(out: &[(String, Result<smtsim_core::SimResult, SimError>)]) -> String {
+    out.iter()
+        .find_map(|(_, r)| r.as_ref().ok())
+        .expect("at least one sweep job must succeed")
+        .workload
+        .join("+")
+}
+
+/// Re-render `run_sweep_journaled` output the way `smtsim sweep --json`
+/// does, so the fixture comparison covers the whole serialization path.
+fn sweep_stdout(out: &[(String, Result<smtsim_core::SimResult, SimError>)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\"workload\":");
+    write_escaped(&mut s, &out_workload(out));
+    s.push_str(",\"jobs\":[");
+    for (i, (label, r)) in out.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let mut o = JsonObject::begin(&mut s);
+        o.field("label", label);
+        match r {
+            Ok(res) => o.field("result", res),
+            Err(e) => o.field("error", e),
+        };
+        o.end();
+    }
+    s.push_str("]}\n");
+    s
+}
+
+#[test]
+fn detailed_sweep_reproduces_pre_refactor_golden() {
+    let out = run_sweep_journaled(&sweep_jobs("2W2", 3_000), 0, None);
+    assert_eq!(sweep_stdout(&out), golden("sweep_2W2_c3000.golden.json"));
+}
+
+#[test]
+fn journal_replay_reproduces_pre_refactor_golden() {
+    // A journaled sweep, then a second sweep resuming from the same
+    // journal: the replayed results must serialize to the same bytes
+    // as the golden — the persistence round-trip is part of the
+    // equivalence surface.
+    let dir = std::env::temp_dir().join(format!("smtsim-fidelity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("sweep.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    let fresh = run_sweep_journaled(&sweep_jobs("2W2", 3_000), 0, Some(&journal));
+    let replayed = run_sweep_journaled(&sweep_jobs("2W2", 3_000), 0, Some(&journal));
+    let expected = golden("sweep_2W2_c3000.golden.json");
+    assert_eq!(sweep_stdout(&fresh), expected, "journaled run diverged");
+    assert_eq!(sweep_stdout(&replayed), expected, "journal replay diverged");
+
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+#[test]
+fn reduced_fidelity_is_same_seed_byte_deterministic() {
+    let w = Workload::by_name("4W3").unwrap();
+    let cfg = SimConfig::for_workload(w, PolicyKind::Mflush)
+        .with_cycles(50_000)
+        .with_fidelity(Fidelity::fast());
+    let a = run_stdout(&cfg);
+    let b = run_stdout(&cfg.clone());
+    assert_eq!(a, b, "mem=fast,core=approx must be byte-deterministic");
+}
+
+#[test]
+fn mixed_fidelities_run_end_to_end() {
+    // The two off-diagonal combinations are valid machines too.
+    let w = Workload::by_name("2W2").unwrap();
+    for fidelity in [
+        Fidelity { mem: MemFidelity::Fast, core: CoreFidelity::Detailed },
+        Fidelity { mem: MemFidelity::Detailed, core: CoreFidelity::IpcApprox },
+    ] {
+        let cfg = SimConfig::for_workload(w, PolicyKind::Icount)
+            .with_cycles(5_000)
+            .with_fidelity(fidelity);
+        let r = Simulator::build(&cfg).unwrap().run().unwrap();
+        assert!(
+            r.total_committed() > 100,
+            "{} starved: {}",
+            fidelity.label(),
+            r.total_committed()
+        );
+    }
+}
+
+/// Tiny deterministic generator for the fuzz loop below (xorshift64*;
+/// no external crates, fixed seed — same cases every run).
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[test]
+fn invalid_topologies_error_and_never_panic() {
+    // Directed cases: every way a Topology can be self-inconsistent or
+    // disagree with the component configs.
+    let w = Workload::by_name("2W2").unwrap();
+    let mut directed: Vec<SimConfig> = Vec::new();
+    for mutate in [
+        (|c: &mut SimConfig| c.topology.cores = 0) as fn(&mut SimConfig),
+        |c| c.topology.contexts_per_core = 0,
+        |c| c.topology.l2_clusters = 0,
+        |c| c.topology.l2_clusters = 3, // does not divide cores, disagrees with mem
+        |c| c.topology.cores = 7,       // disagrees with mem.num_cores
+        |c| c.topology.contexts_per_core = 5, // disagrees with core.contexts
+        |c| c.benchmarks.push("mcf".into()), // no longer fills the topology
+        |c| c.benchmarks.clear(),
+    ] {
+        let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount);
+        mutate(&mut cfg);
+        directed.push(cfg);
+    }
+    for cfg in &directed {
+        match Simulator::build(cfg) {
+            Err(SimError::InvalidConfig(_)) => {}
+            Err(e) => panic!("wrong error class for invalid topology: {e}"),
+            Ok(_) => panic!("invalid topology accepted: {:?}", cfg.topology),
+        }
+    }
+
+    // Seeded fuzz: arbitrary geometry must validate cleanly or reject
+    // with InvalidConfig — building must never panic. Topology::builder
+    // is the user-facing entry, so it gets the same treatment.
+    let mut rng = XorShift(0x5eed_f1de_11ee_7e57);
+    for _ in 0..500 {
+        let cores = (rng.next() % 12) as u32;
+        let contexts = (rng.next() % 6) as u32;
+        let clusters = (rng.next() % 5) as u32;
+        let built = Topology::builder()
+            .cores(cores)
+            .contexts_per_core(contexts)
+            .l2_clusters(clusters)
+            .build();
+        let mut cfg = SimConfig::for_workload(w, PolicyKind::Icount);
+        match built {
+            Ok(topo) => cfg.topology = topo,
+            Err(_) => continue, // rejected at the builder — also fine
+        }
+        match Simulator::build(&cfg) {
+            Ok(_) | Err(SimError::InvalidConfig(_)) => {}
+            Err(e) => panic!(
+                "cores={cores} contexts={contexts} clusters={clusters}: wrong error class {e}"
+            ),
+        }
+    }
+}

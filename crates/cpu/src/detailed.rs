@@ -1,0 +1,1159 @@
+//! The SMT core: fetch → decode/rename → issue → execute → commit, with
+//! policy-driven fetch gating and the FLUSH response action.
+//!
+//! One [`DetailedCore::tick`] advances a cycle in reverse pipeline order
+//! (memory returns, execute completions, commit, stores, issue,
+//! dispatch, policy, fetch), matching SMTsim's structure. The core talks
+//! to the shared [`MemoryModel`] for instruction fetches, loads and
+//! stores, and to its [`FetchPolicy`] through snapshots, events and
+//! actions.
+
+use crate::config::CoreConfig;
+use crate::bpred::PerceptronPredictor;
+use crate::btb::Btb;
+use crate::regfile::RegFile;
+use crate::rob::{InstrState, QueueKind, RobEntry};
+use crate::stats::{CoreStats, ThreadProbe, ThreadStats};
+use crate::thread::{FetchGate, FrontendEntry, ThreadCtx, ThreadProgram, WrongPathMode};
+use smtsim_energy::{PipelineStage, SquashCause};
+use smtsim_mem::addr::{bank_of, line_base};
+use smtsim_mem::{AccessKind, AccessResult, MemEvent, MemoryModel, ReqId};
+use smtsim_obs::{EventRing, TraceEvent};
+use smtsim_policy::{FetchPolicy, PolicyAction, ThreadSnapshot};
+use smtsim_trace::{DynInstr, InstrClass, UncondKind};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// What an in-flight memory request resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemTarget {
+    Load { tid: usize, token: u64 },
+    IFetch { tid: usize },
+    Store,
+}
+
+/// One SMT core.
+pub struct DetailedCore {
+    core_id: u32,
+    cfg: CoreConfig,
+    threads: Vec<ThreadCtx>,
+    policy: Box<dyn FetchPolicy>,
+    regs: RegFile,
+    bpred: PerceptronPredictor,
+    btb: Btb,
+    /// Issue-queue occupancy [int, fp, ls] (shared).
+    iq_used: [u32; 3],
+    /// Per-thread issue-queue residency (for ICOUNT snapshots).
+    iq_per_thread: Vec<u32>,
+    /// Outstanding memory requests → what they complete.
+    req_map: Vec<(ReqId, MemTarget)>,
+    /// Committed stores awaiting their L1D access.
+    store_queue: VecDeque<u64>,
+    /// Scheduled execution completions: (done_at, tid, token).
+    exec_heap: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    /// Per-thread wrong-path prefetch buffers.
+    wp_buffers: Vec<VecDeque<DynInstr>>,
+    next_token: u64,
+    /// Optional commit log: (tid, trace seq) per committed instruction.
+    /// Used by tests to verify the golden property that every thread
+    /// commits its trace in order, exactly once, across flushes and
+    /// mispredicts.
+    commit_log: Option<Vec<(usize, u64)>>,
+    /// Optional event trace (None unless enabled: the disabled path is
+    /// one branch, zero allocation — see DESIGN.md §12).
+    trace: Option<EventRing>,
+    /// Per-thread ROB-occupancy high-water marks (tracked only while
+    /// tracing, to emit `rob_high_water` events).
+    rob_high: Vec<u32>,
+    /// Shared-IQ occupancy high-water mark (tracing only).
+    iq_high: u32,
+    // Reusable scratch.
+    snaps: Vec<ThreadSnapshot>,
+    prio: Vec<usize>,
+    actions: Vec<PolicyAction>,
+    // Core-level stats.
+    fetch_active_cycles: u64,
+    iq_full_stalls: u64,
+    reg_full_stalls: u64,
+    rob_full_stalls: u64,
+    mshr_retries: u64,
+    flushes_executed: u64,
+    stalls_executed: u64,
+    store_forwards: u64,
+}
+
+impl DetailedCore {
+    /// Build a core running `programs` (one per hardware context) under
+    /// `policy`.
+    pub fn new(
+        core_id: u32,
+        cfg: CoreConfig,
+        policy: Box<dyn FetchPolicy>,
+        programs: Vec<ThreadProgram>,
+    ) -> Self {
+        // lint: allow(D3) -- construction-time validation, outside the cycle loop; configs fail fast
+        cfg.validate().expect("invalid CoreConfig");
+        assert_eq!(
+            programs.len(),
+            cfg.contexts as usize,
+            "one program per hardware context"
+        );
+        let threads: Vec<ThreadCtx> = programs
+            .into_iter()
+            .map(|p| ThreadCtx::new(p, cfg.rob_per_thread as usize, cfg.ras_entries as usize))
+            .collect();
+        DetailedCore {
+            core_id,
+            regs: RegFile::new(cfg.phys_regs, cfg.contexts),
+            bpred: PerceptronPredictor::new(
+                cfg.perceptrons,
+                cfg.local_history_entries,
+                cfg.contexts,
+            ),
+            btb: Btb::new(cfg.btb_entries, cfg.btb_ways),
+            iq_used: [0; 3],
+            iq_per_thread: vec![0; threads.len()],
+            req_map: Vec::new(),
+            store_queue: VecDeque::new(),
+            exec_heap: BinaryHeap::new(),
+            wp_buffers: (0..threads.len()).map(|_| VecDeque::new()).collect(),
+            next_token: 1,
+            commit_log: None,
+            trace: None,
+            rob_high: vec![0; threads.len()],
+            iq_high: 0,
+            snaps: Vec::new(),
+            prio: Vec::new(),
+            actions: Vec::new(),
+            fetch_active_cycles: 0,
+            iq_full_stalls: 0,
+            reg_full_stalls: 0,
+            rob_full_stalls: 0,
+            mshr_retries: 0,
+            flushes_executed: 0,
+            stalls_executed: 0,
+            store_forwards: 0,
+            threads,
+            policy,
+            cfg,
+        }
+    }
+
+    /// This core's id (its port index on the shared memory system).
+    pub fn id(&self) -> u32 {
+        self.core_id
+    }
+
+    /// Name of the active fetch policy.
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Access the policy (e.g. for MFLUSH statistics downcasts).
+    pub fn policy(&self) -> &dyn FetchPolicy {
+        self.policy.as_ref()
+    }
+
+    /// Warm caches and TLBs to the trace-driven starting condition:
+    /// each thread's code (L1I + L2 + I-TLB), its L1-resident working
+    /// set (L1D + L2 + D-TLB) and its L2-resident working set (L2 +
+    /// D-TLB). The main-memory stream stays cold — those accesses are
+    /// *supposed* to miss. Call once before the measurement loop.
+    pub fn prewarm(&mut self, mem: &mut MemoryModel) {
+        const LINE: u64 = 64;
+        const PAGE: u64 = 8192;
+        for t in &self.threads {
+            // Code.
+            let base = t.dict.entry_pc();
+            let bytes = t.dict.code_bytes();
+            let mut a = base;
+            while a < base + bytes {
+                mem.prewarm_line(self.core_id, AccessKind::IFetch, a);
+                a += LINE;
+            }
+            let mut p = base & !(PAGE - 1);
+            while p < base + bytes {
+                mem.prewarm_tlb(self.core_id, AccessKind::IFetch, p);
+                p += PAGE;
+            }
+            // Data: L1 region into L1D + L2; L2 region into L2 only.
+            let [(l1b, l1s), (l2b, l2s)] = t.warm_regions;
+            let mut a = l1b;
+            while a < l1b + l1s {
+                mem.prewarm_line(self.core_id, AccessKind::Load, a);
+                a += LINE;
+            }
+            let mut a = l2b;
+            while a < l2b + l2s {
+                mem.prewarm_l2_line(self.core_id, a);
+                a += LINE;
+            }
+            for (rb, rs) in [(l1b, l1s), (l2b, l2s)] {
+                let mut p = rb & !(PAGE - 1);
+                while p < rb + rs {
+                    mem.prewarm_tlb(self.core_id, AccessKind::Load, p);
+                    p += PAGE;
+                }
+            }
+        }
+    }
+
+    /// Advance one cycle. The caller must have ticked `mem` for `now`
+    /// already.
+    pub fn tick(&mut self, now: u64, mem: &mut MemoryModel) {
+        self.process_mem(now, mem);
+        self.exec_complete(now);
+        self.commit(now);
+        self.drain_stores(now, mem);
+        self.issue(now, mem);
+        self.dispatch(now);
+        self.run_policy(now);
+        self.fetch(now, mem);
+    }
+
+    // ----------------------------------------------------------------
+    // Memory returns
+    // ----------------------------------------------------------------
+
+    fn process_mem(&mut self, now: u64, mem: &mut MemoryModel) {
+        for ev in mem.drain_events(self.core_id) {
+            match ev {
+                MemEvent::L2MissDetected { req, at } => {
+                    if let Some(&(_, MemTarget::Load { tid, token })) =
+                        self.req_map.iter().find(|(r, _)| *r == req)
+                    {
+                        // Only correct-path tracked loads reach the policy.
+                        if self.threads[tid]
+                            .rob
+                            .find_mut(token)
+                            .map(|e| e.load_tracked && !e.wrong_path)
+                            .unwrap_or(false)
+                        {
+                            self.policy.on_l2_miss(tid, token, at);
+                        }
+                    }
+                }
+            }
+        }
+        for c in mem.drain_completions(self.core_id) {
+            let Some(pos) = self.req_map.iter().position(|(r, _)| *r == c.req) else {
+                continue; // orphaned by a squash
+            };
+            let (_, target) = self.req_map.swap_remove(pos);
+            match target {
+                MemTarget::Load { tid, token } => {
+                    let mut resume = false;
+                    let mut notify = false;
+                    if let Some(e) = self.threads[tid].rob.find_mut(token) {
+                        e.state = InstrState::Done;
+                        notify = e.load_tracked && !e.wrong_path;
+                        if let Some((newr, _)) = e.dst {
+                            self.regs.mark_ready(newr);
+                        }
+                    }
+                    let t = &mut self.threads[tid];
+                    t.l1d_misses_in_flight = t.l1d_misses_in_flight.saturating_sub(1);
+                    if let FetchGate::Flushed { offender } = t.gate {
+                        if offender == token {
+                            t.gate = FetchGate::Open;
+                            t.redirect_at = now + 1;
+                            resume = true;
+                        }
+                    }
+                    if notify {
+                        self.policy.on_load_complete(
+                            tid,
+                            token,
+                            c.bank,
+                            Some(c.l2_hit),
+                            c.latency(),
+                            now,
+                        );
+                    }
+                    if resume {
+                        self.policy.on_thread_resumed(tid, now);
+                    }
+                }
+                MemTarget::IFetch { tid } => {
+                    self.threads[tid].icache_wait = None;
+                }
+                MemTarget::Store => {}
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Execute completions (non-memory latencies + L1-hit loads)
+    // ----------------------------------------------------------------
+
+    fn exec_complete(&mut self, now: u64) {
+        while let Some(&Reverse((done_at, _, _))) = self.exec_heap.peek() {
+            if done_at > now {
+                break;
+            }
+            let Some(Reverse((_, tid, token))) = self.exec_heap.pop() else {
+                break; // unreachable: peek above returned Some
+            };
+            let (resolve_mispredict, load_complete, is_cond_branch, dst) =
+                match self.threads[tid].rob.find_mut(token) {
+                    Some(e) if matches!(e.state, InstrState::Executing { .. }) => {
+                        e.state = InstrState::Done;
+                        (
+                            e.mispredicted && !e.wrong_path,
+                            e.instr.class == InstrClass::Load
+                                && e.load_tracked
+                                && !e.wrong_path,
+                            e.instr.class == InstrClass::BranchCond && !e.wrong_path,
+                            e.dst,
+                        )
+                    }
+                    _ => continue, // squashed
+                };
+            if let Some((newr, _)) = dst {
+                self.regs.mark_ready(newr);
+            }
+            if is_cond_branch {
+                let t = &mut self.threads[tid];
+                t.branches_in_flight = t.branches_in_flight.saturating_sub(1);
+            }
+            if load_complete {
+                // An L1-hit load: report completion with no L2 verdict.
+                self.policy.on_load_complete(tid, token, 0, None, 3, now);
+            }
+            if resolve_mispredict {
+                self.resolve_mispredict(tid, token, now);
+            }
+        }
+    }
+
+    /// A mispredicted branch resolved: squash its wrong-path shadow and
+    /// redirect fetch to the correct path.
+    fn resolve_mispredict(&mut self, tid: usize, branch_token: u64, now: u64) {
+        self.squash_younger(tid, branch_token, SquashCause::BranchMispredict, now);
+        let t = &mut self.threads[tid];
+        t.wrong_path = None;
+        self.wp_buffers[tid].clear();
+        t.redirect_at = now + 1;
+    }
+
+    // ----------------------------------------------------------------
+    // Commit
+    // ----------------------------------------------------------------
+
+    fn commit(&mut self, _now: u64) {
+        for tid in 0..self.threads.len() {
+            let mut budget = self.cfg.commit_width;
+            while budget > 0 {
+                let Some(head) = self.threads[tid].rob.head() else {
+                    break;
+                };
+                if head.state != InstrState::Done {
+                    break;
+                }
+                debug_assert!(!head.wrong_path, "wrong-path instruction at ROB head");
+                let is_store = head.instr.class == InstrClass::Store;
+                if is_store && self.store_queue.len() >= self.cfg.store_buffer as usize {
+                    break; // store buffer backpressure
+                }
+                let Some(e) = self.threads[tid].rob.pop_head() else {
+                    break; // unreachable: head() above returned Some
+                };
+                if let Some(log) = &mut self.commit_log {
+                    log.push((tid, e.instr.seq));
+                }
+                if let Some((_, prev)) = e.dst {
+                    self.regs.release(prev);
+                }
+                let t = &mut self.threads[tid];
+                t.committed += 1;
+                t.energy.commit();
+                if e.instr.class == InstrClass::BranchCond {
+                    t.branches += 1;
+                    if e.mispredicted {
+                        t.mispredicts += 1;
+                    }
+                }
+                if is_store {
+                    self.store_queue.push_back(e.instr.mem_addr);
+                }
+                budget -= 1;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Store drain (committed stores access the L1D)
+    // ----------------------------------------------------------------
+
+    fn drain_stores(&mut self, now: u64, mem: &mut MemoryModel) {
+        for _ in 0..2 {
+            let Some(&addr) = self.store_queue.front() else {
+                break;
+            };
+            match mem.access(self.core_id, AccessKind::Store, addr, now) {
+                AccessResult::L1Hit { .. } => {
+                    self.store_queue.pop_front();
+                }
+                AccessResult::Miss { req, .. } => {
+                    self.store_queue.pop_front();
+                    debug_assert!(!self.req_map.iter().any(|(r, _)| *r == req), "duplicate req id {req} in req_map (store)");
+                    self.req_map.push((req, MemTarget::Store));
+                }
+                AccessResult::MshrFull => break,
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Issue
+    // ----------------------------------------------------------------
+
+    fn issue(&mut self, now: u64, mem: &mut MemoryModel) {
+        // Gather ready candidates per queue, oldest (smallest token)
+        // first across both threads.
+        let mut cands: [Vec<(u64, usize)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (tid, t) in self.threads.iter().enumerate() {
+            for e in t.rob.iter() {
+                if e.state == InstrState::InQueue {
+                    let ready = e
+                        .srcs
+                        .iter()
+                        .flatten()
+                        .all(|&p| self.regs.is_ready(p));
+                    if ready {
+                        cands[e.queue.index()].push((e.token, tid));
+                    }
+                }
+            }
+        }
+        let units = [self.cfg.int_units, self.cfg.fp_units, self.cfg.ls_units];
+        for (qi, list) in cands.iter_mut().enumerate() {
+            list.sort_unstable();
+            let mut issued = 0;
+            for &(token, tid) in list.iter() {
+                if issued == units[qi] {
+                    break;
+                }
+                if self.try_issue_one(tid, token, now, mem) {
+                    issued += 1;
+                }
+            }
+        }
+    }
+
+    /// Issue one instruction; returns false when it must stay queued
+    /// (MSHR full).
+    fn try_issue_one(&mut self, tid: usize, token: u64, now: u64, mem: &mut MemoryModel) -> bool {
+        let (class, addr, queue, addr_pc) = {
+            let e = self.threads[tid].rob.tracked_mut(token);
+            (e.instr.class, e.instr.mem_addr, e.queue, e.instr.pc)
+        };
+        let wrong_path = self.threads[tid]
+            .rob
+            .find_mut(token)
+            .map(|e| e.wrong_path)
+            .unwrap_or(true);
+
+        match class {
+            InstrClass::Load => {
+                // Wrong-path loads execute without touching the data
+                // cache (SMTsim models wrong-path effects on the
+                // I-cache and branch predictor only; junk data accesses
+                // would fabricate MSHR/bank traffic at made-up
+                // addresses).
+                if wrong_path {
+                    let e = self.threads[tid].rob.tracked_mut(token);
+                    e.state = InstrState::Executing { done_at: now + 1 };
+                    self.exec_heap.push(Reverse((now + 1, tid, token)));
+                    self.iq_used[queue.index()] -= 1;
+                    self.iq_per_thread[tid] = self.iq_per_thread[tid].saturating_sub(1);
+                    return true;
+                }
+                // Store-to-load forwarding: an older in-flight store of
+                // the same thread to the same word supplies the data
+                // directly (no cache access).
+                if self.store_forward_hit(tid, token, addr) {
+                    let e = self.threads[tid].rob.tracked_mut(token);
+                    e.state = InstrState::Executing { done_at: now + 1 };
+                    e.load_tracked = false;
+                    self.exec_heap.push(Reverse((now + 1, tid, token)));
+                    self.store_forwards += 1;
+                    self.iq_used[queue.index()] -= 1;
+                    self.iq_per_thread[tid] = self.iq_per_thread[tid].saturating_sub(1);
+                    return true;
+                }
+                match mem.access(self.core_id, AccessKind::Load, addr, now) {
+                    AccessResult::L1Hit { ready_at, .. } => {
+                        let e = self.threads[tid].rob.tracked_mut(token);
+                        e.state = InstrState::Executing { done_at: ready_at };
+                        e.load_tracked = !wrong_path;
+                        self.exec_heap.push(Reverse((ready_at, tid, token)));
+                        if !wrong_path {
+                            self.threads[tid].loads_issued += 1;
+                            self.policy.on_load_issue(tid, token, addr_pc, now);
+                        }
+                    }
+                    AccessResult::Miss { req, .. } => {
+                        let bank = bank_of(addr, mem.config().l2_banks);
+                        let e = self.threads[tid].rob.tracked_mut(token);
+                        e.state = InstrState::WaitingMem { req };
+                        e.load_tracked = !wrong_path;
+                        debug_assert!(!self.req_map.iter().any(|(r, _)| *r == req), "duplicate req id {req} in req_map");
+                        self.req_map.push((req, MemTarget::Load { tid, token }));
+                        self.threads[tid].l1d_misses_in_flight += 1;
+                        if !wrong_path {
+                            self.threads[tid].loads_issued += 1;
+                            self.policy.on_load_issue(tid, token, addr_pc, now);
+                            self.policy.on_l1d_miss(tid, token, bank, now);
+                        }
+                    }
+                    AccessResult::MshrFull => {
+                        self.mshr_retries += 1;
+                        return false;
+                    }
+                }
+            }
+            InstrClass::Store => {
+                // Address generation only; memory access happens at
+                // commit via the store queue.
+                let e = self.threads[tid].rob.tracked_mut(token);
+                e.state = InstrState::Executing { done_at: now + 1 };
+                self.exec_heap.push(Reverse((now + 1, tid, token)));
+            }
+            _ => {
+                let done = now + class.exec_latency() as u64;
+                let e = self.threads[tid].rob.tracked_mut(token);
+                e.state = InstrState::Executing { done_at: done };
+                self.exec_heap.push(Reverse((done, tid, token)));
+            }
+        }
+        // The instruction left its issue queue.
+        self.iq_used[queue.index()] -= 1;
+        self.iq_per_thread[tid] = self.iq_per_thread[tid].saturating_sub(1);
+        true
+    }
+
+    /// True when an older same-thread store to the same 8-byte word is
+    /// still in flight (in the ROB or the committed-store queue) — the
+    /// load's data can be forwarded.
+    fn store_forward_hit(&self, tid: usize, load_token: u64, addr: u64) -> bool {
+        let word = addr & !7;
+        let in_rob = self.threads[tid].rob.iter().any(|e| {
+            e.token < load_token
+                && e.instr.class == InstrClass::Store
+                && (e.instr.mem_addr & !7) == word
+        });
+        in_rob || self.store_queue.iter().any(|&a| (a & !7) == word)
+    }
+
+    // ----------------------------------------------------------------
+    // Dispatch (rename + ROB/IQ allocation)
+    // ----------------------------------------------------------------
+
+    fn dispatch(&mut self, now: u64) {
+        let mut budget = self.cfg.dispatch_width;
+        let n = self.threads.len();
+        // Alternate the scan start for fairness.
+        let start = (now as usize) % n;
+        for k in 0..n {
+            let tid = (start + k) % n;
+            while budget > 0 {
+                let Some(fe) = self.threads[tid].frontend.front().copied() else {
+                    break;
+                };
+                if fe.fetched_at + self.cfg.frontend_latency > now {
+                    break; // still in the front-end pipe
+                }
+                if !self.threads[tid].rob.has_room() {
+                    self.rob_full_stalls += 1;
+                    break;
+                }
+                let queue = QueueKind::of(fe.instr.class);
+                let cap = [self.cfg.int_queue, self.cfg.fp_queue, self.cfg.ls_queue]
+                    [queue.index()];
+                if self.iq_used[queue.index()] >= cap {
+                    self.iq_full_stalls += 1;
+                    break;
+                }
+                // Rename: read sources first, then allocate the dest.
+                let srcs = {
+                    let mut s = [None, None];
+                    for (i, lr) in fe.instr.srcs.iter().enumerate() {
+                        if let Some(lr) = lr {
+                            s[i] = Some(self.regs.lookup(tid, *lr));
+                        }
+                    }
+                    s
+                };
+                let dst = if let Some(lr) = fe.instr.dst {
+                    match self.regs.alloc(tid, lr) {
+                        Some(pair) => Some(pair),
+                        None => {
+                            self.reg_full_stalls += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    None
+                };
+                self.threads[tid].frontend.pop_front();
+                self.threads[tid].rob.push(RobEntry {
+                    token: fe.token,
+                    instr: fe.instr,
+                    wrong_path: fe.wrong_path,
+                    state: InstrState::InQueue,
+                    queue,
+                    srcs,
+                    dst,
+                    mispredicted: fe.mispredicted,
+                    load_tracked: false,
+                });
+                self.iq_used[queue.index()] += 1;
+                self.iq_per_thread[tid] += 1;
+                if let Some(ring) = &mut self.trace {
+                    let rob_occ = self.threads[tid].rob.len() as u32;
+                    if rob_occ > self.rob_high[tid] {
+                        self.rob_high[tid] = rob_occ;
+                        ring.emit(
+                            now,
+                            TraceEvent::RobHighWater {
+                                core: self.core_id,
+                                tid: tid as u32,
+                                occupancy: rob_occ,
+                            },
+                        );
+                    }
+                    let iq_occ: u32 = self.iq_used.iter().sum();
+                    if iq_occ > self.iq_high {
+                        self.iq_high = iq_occ;
+                        ring.emit(
+                            now,
+                            TraceEvent::IqHighWater {
+                                core: self.core_id,
+                                occupancy: iq_occ,
+                            },
+                        );
+                    }
+                }
+                budget -= 1;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Policy
+    // ----------------------------------------------------------------
+
+    fn build_snapshots(&mut self) {
+        self.snaps.clear();
+        for (tid, t) in self.threads.iter().enumerate() {
+            self.snaps.push(ThreadSnapshot {
+                tid,
+                in_frontend: t.in_frontend(),
+                in_queues: self.iq_per_thread[tid],
+                in_rob: t.rob.len() as u32,
+                branches_in_flight: t.branches_in_flight,
+                l1d_misses_in_flight: t.l1d_misses_in_flight,
+                gated: t.is_gated(),
+                committed: t.committed,
+            });
+        }
+    }
+
+    fn run_policy(&mut self, now: u64) {
+        self.build_snapshots();
+        self.actions.clear();
+        let mut actions = std::mem::take(&mut self.actions);
+        self.policy.tick(now, &self.snaps, &mut actions);
+        for a in actions.drain(..) {
+            match a {
+                PolicyAction::Flush { tid, token } => self.execute_flush(tid, token, now),
+                PolicyAction::Stall { tid } => {
+                    if self.threads[tid].gate == FetchGate::Open {
+                        self.threads[tid].gate = FetchGate::PolicyStall;
+                        self.stalls_executed += 1;
+                        if let Some(ring) = &mut self.trace {
+                            ring.emit(
+                                now,
+                                TraceEvent::Stall {
+                                    core: self.core_id,
+                                    tid: tid as u32,
+                                },
+                            );
+                        }
+                    }
+                }
+                PolicyAction::Resume { tid } => {
+                    if self.threads[tid].gate == FetchGate::PolicyStall {
+                        self.threads[tid].gate = FetchGate::Open;
+                    }
+                }
+            }
+        }
+        self.actions = actions;
+    }
+
+    /// Execute the FLUSH response action on `tid`, keeping the offending
+    /// load `token` and squashing everything younger.
+    fn execute_flush(&mut self, tid: usize, token: u64, now: u64) {
+        // Validate: the load must still be outstanding.
+        let outstanding = self.threads[tid]
+            .rob
+            .find_mut(token)
+            .map(|e| {
+                matches!(
+                    e.state,
+                    InstrState::WaitingMem { .. } | InstrState::Executing { .. }
+                )
+            })
+            .unwrap_or(false);
+        if !outstanding {
+            // Raced with the completion; tell the policy the thread runs.
+            self.policy.on_thread_resumed(tid, now);
+            return;
+        }
+        let squashed = self.squash_younger(tid, token, SquashCause::Flush, now);
+        let t = &mut self.threads[tid];
+        t.gate = FetchGate::Flushed { offender: token };
+        t.flushes += 1;
+        self.flushes_executed += 1;
+        if let Some(ring) = &mut self.trace {
+            ring.emit(
+                now,
+                TraceEvent::Flush {
+                    core: self.core_id,
+                    tid: tid as u32,
+                    squashed,
+                },
+            );
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Squash machinery (branch recovery + FLUSH)
+    // ----------------------------------------------------------------
+
+    /// Squash every instruction of `tid` younger than `keep_token`:
+    /// restore rename state, free queue slots, replay correct-path
+    /// instructions into the stream, account squash energy. Returns the
+    /// number of instructions removed (front-end + ROB, wrong-path
+    /// included) — the `flush` trace event's cost figure.
+    fn squash_younger(&mut self, tid: usize, keep_token: u64, cause: SquashCause, now: u64) -> u32 {
+        // Front-end entries are all younger than anything in the ROB.
+        let mut squashed: u32 = 0;
+        let mut replay_frontend: Vec<DynInstr> = Vec::new();
+        {
+            let t = &mut self.threads[tid];
+            let fes: Vec<FrontendEntry> = t.frontend.drain(..).collect();
+            squashed += fes.len() as u32;
+            for fe in fes {
+                debug_assert!(fe.token > keep_token);
+                let stage = if now >= fe.fetched_at + 2 {
+                    PipelineStage::Decode
+                } else {
+                    PipelineStage::Fetch
+                };
+                t.energy.squash(cause, stage);
+                if fe.instr.class == InstrClass::BranchCond && !fe.wrong_path {
+                    t.branches_in_flight = t.branches_in_flight.saturating_sub(1);
+                }
+                if !fe.wrong_path {
+                    replay_frontend.push(fe.instr);
+                }
+            }
+        }
+        let removed = self.threads[tid].rob.squash_younger(keep_token);
+        squashed += removed.len() as u32;
+        let mut replay_rob: Vec<DynInstr> = Vec::new();
+        for e in &removed {
+            // Newest-first: rename rollback order is correct.
+            if let (Some(lr), Some((newr, prev))) = (e.instr.dst, e.dst) {
+                self.regs.rollback(tid, lr, newr, prev);
+            }
+            match e.state {
+                InstrState::InQueue => {
+                    self.iq_used[e.queue.index()] -= 1;
+                    self.iq_per_thread[tid] = self.iq_per_thread[tid].saturating_sub(1);
+                }
+                InstrState::WaitingMem { req } => {
+                    if let Some(pos) = self.req_map.iter().position(|(r, _)| *r == req) {
+                        self.req_map.swap_remove(pos);
+                    }
+                    self.threads[tid].l1d_misses_in_flight = self.threads[tid]
+                        .l1d_misses_in_flight
+                        .saturating_sub(1);
+                }
+                _ => {}
+            }
+            if e.instr.class == InstrClass::BranchCond && !e.wrong_path {
+                self.threads[tid].branches_in_flight = self.threads[tid]
+                    .branches_in_flight
+                    .saturating_sub(1);
+            }
+            if e.load_tracked && !e.wrong_path {
+                self.policy.on_load_squashed(tid, e.token);
+            }
+            self.threads[tid].energy.squash(cause, e.deepest_stage());
+            if !e.wrong_path {
+                replay_rob.push(e.instr);
+            }
+        }
+        // Replay in program order: ROB entries (reversed to oldest
+        // first) then front-end entries.
+        replay_rob.reverse();
+        replay_rob.extend(replay_frontend);
+        self.threads[tid].stream.unfetch(replay_rob);
+
+        // If the wrong-path resolver died, the thread is back on the
+        // correct path.
+        let t = &mut self.threads[tid];
+        if let Some(wp) = &t.wrong_path {
+            if wp.resolver > keep_token {
+                t.wrong_path = None;
+                self.wp_buffers[tid].clear();
+            }
+        }
+        // If a flush offender died (mispredict squashing past it), the
+        // gate must open.
+        if let FetchGate::Flushed { offender } = t.gate {
+            if offender > keep_token {
+                t.gate = FetchGate::Open;
+                self.policy.on_thread_resumed(tid, now);
+            }
+        }
+        squashed
+    }
+
+    // ----------------------------------------------------------------
+    // Fetch
+    // ----------------------------------------------------------------
+
+    fn fetch(&mut self, now: u64, mem: &mut MemoryModel) {
+        self.build_snapshots();
+        let mut prio = std::mem::take(&mut self.prio);
+        self.policy.fetch_priority(now, &self.snaps, &mut prio);
+        let mut budget = self.cfg.fetch_width;
+        let mut threads_used = 0;
+        let mut fetched_any_cycle = false;
+        for &tid in prio.iter() {
+            if budget == 0 || threads_used == self.cfg.fetch_threads {
+                break;
+            }
+            let t = &self.threads[tid];
+            if t.is_gated() || t.icache_wait.is_some() || now < t.redirect_at {
+                continue;
+            }
+            let fetched = self.fetch_thread(tid, now, mem, &mut budget);
+            if fetched > 0 {
+                fetched_any_cycle = true;
+                threads_used += 1;
+                if let Some(ring) = &mut self.trace {
+                    ring.emit(
+                        now,
+                        TraceEvent::FetchSlots {
+                            core: self.core_id,
+                            tid: tid as u32,
+                            slots: fetched,
+                        },
+                    );
+                }
+            }
+        }
+        if fetched_any_cycle {
+            self.fetch_active_cycles += 1;
+        }
+        self.prio = prio;
+    }
+
+    /// Fetch up to `budget` instructions for one thread. Returns the
+    /// number fetched.
+    fn fetch_thread(
+        &mut self,
+        tid: usize,
+        now: u64,
+        mem: &mut MemoryModel,
+        budget: &mut u32,
+    ) -> u32 {
+        let mut fetched = 0;
+        let mut line: Option<u64> = None;
+        let mut crossed_lines = 0;
+        while *budget > 0 {
+            if self.threads[tid].frontend.len() >= self.cfg.fetch_queue as usize {
+                break; // fetch queue full: bounded run-ahead
+            }
+            // Next PC on the active path.
+            let wrong_path = self.threads[tid].wrong_path.is_some();
+            let pc = if wrong_path {
+                self.peek_wrong_path(tid).pc
+            } else {
+                self.threads[tid].stream.peek().pc
+            };
+            // I-cache: at most one new line per thread per cycle.
+            let l = line_base(pc);
+            if line != Some(l) {
+                if crossed_lines == 1 {
+                    break;
+                }
+                match mem.access(self.core_id, AccessKind::IFetch, pc, now) {
+                    AccessResult::L1Hit { .. } => {
+                        line = Some(l);
+                        crossed_lines += 1;
+                    }
+                    AccessResult::Miss { req, .. } => {
+                        self.threads[tid].icache_wait = Some(req);
+                        debug_assert!(!self.req_map.iter().any(|(r, _)| *r == req), "duplicate req id {req} in req_map (ifetch)");
+                        self.req_map.push((req, MemTarget::IFetch { tid }));
+                        break;
+                    }
+                    AccessResult::MshrFull => break,
+                }
+            }
+            // Pull the instruction.
+            let (instr, is_wrong_path) = if wrong_path {
+                (self.next_wrong_path(tid), true)
+            } else {
+                (self.threads[tid].stream.fetch(), false)
+            };
+            let token = self.next_token;
+            self.next_token += 1;
+
+            let mut branch_redirects = false;
+            let mut mispredicted = false;
+            if !is_wrong_path && instr.class.is_branch() {
+                let (redirects, mispred) = self.predict_branch(tid, token, &instr);
+                branch_redirects = redirects;
+                mispredicted = mispred;
+            } else if is_wrong_path && instr.class == InstrClass::BranchUncond {
+                branch_redirects = true; // junk jump: stop the run
+            }
+
+            self.threads[tid].frontend.push_back(FrontendEntry {
+                token,
+                instr,
+                wrong_path: is_wrong_path,
+                mispredicted,
+                fetched_at: now,
+            });
+            self.threads[tid].fetched += 1;
+            *budget -= 1;
+            fetched += 1;
+            if branch_redirects {
+                break;
+            }
+        }
+        fetched
+    }
+
+    /// Predict a correct-path branch at fetch. Returns
+    /// `(stop_fetch_run, mispredicted)`.
+    fn predict_branch(&mut self, tid: usize, token: u64, instr: &DynInstr) -> (bool, bool) {
+        let (predicted_taken, predicted_target) = match instr.class {
+            InstrClass::BranchCond => {
+                let dir = self.bpred.predict(instr.pc, tid);
+                self.bpred.update(instr.pc, tid, instr.taken);
+                (dir, self.btb.lookup(instr.pc))
+            }
+            InstrClass::BranchUncond => match instr.uncond_kind {
+                // Calls push their return address; the target comes
+                // from the BTB like any direct jump.
+                UncondKind::Call => {
+                    self.threads[tid].ras.push(instr.fallthrough());
+                    (true, self.btb.lookup(instr.pc))
+                }
+                // Returns predict their (dynamic) target by popping the
+                // RAS; an empty stack falls back to the BTB. Squashes
+                // do not repair the stack — RAS corruption on the wrong
+                // path is a real, modelled effect.
+                UncondKind::Ret => {
+                    let ras = self.threads[tid].ras.pop();
+                    (true, ras.or_else(|| self.btb.lookup(instr.pc)))
+                }
+                UncondKind::Jump => (true, self.btb.lookup(instr.pc)),
+            },
+            _ => unreachable!("predict_branch on non-branch"),
+        };
+        // Train the BTB with the resolved target (returns excluded:
+        // their targets vary per dynamic instance and would only
+        // pollute the BTB — the RAS is their predictor).
+        if instr.taken && instr.uncond_kind != UncondKind::Ret {
+            self.btb.update(instr.pc, instr.target);
+        }
+        if instr.class == InstrClass::BranchCond {
+            self.threads[tid].branches_in_flight += 1;
+        }
+
+        // Decide misprediction and the wrong path the front-end follows.
+        let actual_taken = instr.taken;
+        let fallthrough = instr.fallthrough();
+        let (mispredicted, wrong_pc) = match (predicted_taken, actual_taken) {
+            (false, true) => (true, fallthrough),
+            (true, false) => (true, predicted_target.unwrap_or(fallthrough)),
+            (true, true) => match predicted_target {
+                Some(t) if t == instr.target => (false, 0),
+                Some(t) => (true, t),
+                // BTB miss on a taken branch: misfetch down the
+                // fall-through path.
+                None => (true, fallthrough),
+            },
+            (false, false) => (false, 0),
+        };
+        if mispredicted {
+            self.threads[tid].wrong_path = Some(WrongPathMode {
+                resolver: token,
+                cursor: wrong_pc,
+            });
+            self.wp_buffers[tid].clear();
+            return (true, true);
+        }
+        // Correctly-predicted taken branches end the fetch run.
+        (actual_taken, false)
+    }
+
+    fn peek_wrong_path(&mut self, tid: usize) -> DynInstr {
+        if self.wp_buffers[tid].is_empty() {
+            self.refill_wp(tid);
+        }
+        // lint: allow(D3) -- refill_wp synthesises a non-empty run before this read
+        *self.wp_buffers[tid].front().expect("refilled wp buffer")
+    }
+
+    fn next_wrong_path(&mut self, tid: usize) -> DynInstr {
+        if self.wp_buffers[tid].is_empty() {
+            self.refill_wp(tid);
+        }
+        // lint: allow(D3) -- refill_wp synthesises a non-empty run before this pop
+        let i = self.wp_buffers[tid].pop_front().expect("refilled wp buffer");
+        if let Some(wp) = &mut self.threads[tid].wrong_path {
+            // Treat junk conditional branches as not-taken.
+            wp.cursor = if i.class == InstrClass::BranchUncond {
+                i.target
+            } else {
+                i.fallthrough()
+            };
+        }
+        i
+    }
+
+    fn refill_wp(&mut self, tid: usize) {
+        let cursor = self.threads[tid]
+            .wrong_path
+            .as_ref()
+            // lint: allow(D3) -- only called while the thread is in wrong-path mode (callers check)
+            .expect("wrong-path mode")
+            .cursor;
+        let dict = Arc::clone(&self.threads[tid].dict);
+        let instrs = dict.synth_wrong_path(cursor, 8);
+        self.wp_buffers[tid].extend(instrs);
+    }
+
+    // ----------------------------------------------------------------
+    // Statistics
+    // ----------------------------------------------------------------
+
+    /// Snapshot the core's statistics.
+    pub fn stats(&self) -> CoreStats {
+        CoreStats {
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadStats {
+                    committed: t.committed,
+                    fetched: t.fetched,
+                    branches: t.branches,
+                    mispredicts: t.mispredicts,
+                    loads_issued: t.loads_issued,
+                    flushes: t.flushes,
+                    energy: t.energy.clone(),
+                })
+                .collect(),
+            fetch_active_cycles: self.fetch_active_cycles,
+            iq_full_stalls: self.iq_full_stalls,
+            reg_full_stalls: self.reg_full_stalls,
+            rob_full_stalls: self.rob_full_stalls,
+            mshr_retries: self.mshr_retries,
+            flushes_executed: self.flushes_executed,
+            stalls_executed: self.stalls_executed,
+            store_forwards: self.store_forwards,
+        }
+    }
+
+    /// Branch predictor accuracy so far.
+    pub fn branch_accuracy(&self) -> f64 {
+        self.bpred.accuracy()
+    }
+
+    /// One-line diagnostic snapshot of pipeline occupancy (for
+    /// debugging and tests).
+    pub fn debug_state(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "iq={:?} regs_free={} stores={} ",
+            self.iq_used,
+            self.regs.free_count(),
+            self.store_queue.len()
+        );
+        for (tid, t) in self.threads.iter().enumerate() {
+            let _ = write!(
+                s,
+                "| t{tid}: fe={} rob={} head={:?} gate={:?} wp={} ic_wait={} ",
+                t.frontend.len(),
+                t.rob.len(),
+                t.rob.head().map(|e| (e.instr.class, e.state)),
+                t.gate,
+                t.wrong_path.is_some(),
+                t.icache_wait.is_some(),
+            );
+        }
+        s
+    }
+
+    /// Start recording `(tid, trace_seq)` for every commit.
+    pub fn enable_commit_log(&mut self) {
+        self.commit_log = Some(Vec::new());
+    }
+
+    /// Start recording trace events into a ring keeping the most
+    /// recent `capacity` records (DESIGN.md §12). Tracing is off by
+    /// default and costs one branch per instrumentation point when
+    /// disabled.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(EventRing::new(capacity));
+    }
+
+    /// The core's event ring (`None` unless [`Self::enable_trace`] was
+    /// called).
+    pub fn trace(&self) -> Option<&EventRing> {
+        self.trace.as_ref()
+    }
+
+    /// The recorded commit log (empty when not enabled).
+    pub fn commit_log(&self) -> &[(usize, u64)] {
+        self.commit_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Total committed instructions.
+    pub fn total_committed(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
+    }
+
+    /// Structured per-thread pipeline snapshots (the machine-readable
+    /// counterpart of [`Self::debug_state`], consumed by the driver's
+    /// forward-progress watchdog diagnostics).
+    pub fn thread_snapshots(&self) -> Vec<ThreadProbe> {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| ThreadProbe {
+                tid: tid as u32,
+                gate: format!("{:?}", t.gate),
+                frontend: t.frontend.len() as u32,
+                rob: t.rob.len() as u32,
+                icache_wait: t.icache_wait.is_some(),
+                committed: t.committed,
+            })
+            .collect()
+    }
+}

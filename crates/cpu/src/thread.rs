@@ -4,7 +4,9 @@ use crate::ras::ReturnAddressStack;
 use crate::rob::Rob;
 use smtsim_energy::EnergyAccount;
 use smtsim_mem::ReqId;
-use smtsim_trace::{BasicBlockDict, DynInstr, InstrStream, ReplayableStream, TraceGenerator};
+use smtsim_trace::{
+    BasicBlockDict, DynInstr, FastTraceGenerator, InstrStream, ReplayableStream, TraceGenerator,
+};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -23,6 +25,23 @@ pub struct ThreadProgram {
 impl ThreadProgram {
     /// Bundle a synthetic-trace generator (the common case).
     pub fn from_generator(gen: TraceGenerator) -> Self {
+        let dict = gen.dict_arc();
+        let bases = gen.data_region_bases();
+        let mem = gen.profile().mem;
+        ThreadProgram {
+            dict,
+            warm_regions: [
+                (bases[0], mem.l1_ws_bytes),
+                (bases[1], mem.l2_ws_bytes),
+            ],
+            stream: Box::new(gen),
+        }
+    }
+
+    /// Bundle a reduced-fidelity generator (for the IPC-approx
+    /// backend, which reads no register operands — see
+    /// [`smtsim_trace::fastgen`]).
+    pub fn from_fast_generator(gen: FastTraceGenerator) -> Self {
         let dict = gen.dict_arc();
         let bases = gen.data_region_bases();
         let mem = gen.profile().mem;
@@ -199,3 +218,5 @@ mod tests {
         assert_eq!(t.stream.fetch(), b);
     }
 }
+
+

@@ -7,12 +7,25 @@
 
 use crate::addr::page_base;
 
+/// Slot marker for "no translation here". Pages are page-aligned, so
+/// an all-ones key can never collide with a real page base.
+const EMPTY: u64 = u64::MAX;
+
 /// Fully-associative, true-LRU TLB.
+///
+/// Backed by a linear-probe hash table sized at twice the capacity:
+/// every access translates, so the hit path must stay one or two cache
+/// lines. Misses pay an O(capacity) LRU scan, but misses are rare by
+/// definition. Replacement is exact LRU over unique use-stamps, so the
+/// observable behaviour (hit/miss sequence, victim choice, stats) is
+/// independent of the table layout.
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    /// (page base, last-use stamp); linear scan — 512 entries is small
-    /// and misses are rare enough that simplicity wins.
-    entries: Vec<(u64, u64)>,
+    /// `(page, last-use stamp)`; `page == EMPTY` marks a free slot.
+    slots: Vec<(u64, u64)>,
+    /// `slots.len() - 1`; the table size is a power of two.
+    mask: usize,
+    len: usize,
     capacity: usize,
     stamp: u64,
     hits: u64,
@@ -23,8 +36,11 @@ impl Tlb {
     /// TLB with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB needs at least one entry");
+        let table = (capacity * 2).next_power_of_two();
         Tlb {
-            entries: Vec::with_capacity(capacity),
+            slots: vec![(EMPTY, 0); table],
+            mask: table - 1,
+            len: 0,
             capacity,
             stamp: 0,
             hits: 0,
@@ -32,31 +48,87 @@ impl Tlb {
         }
     }
 
+    #[inline]
+    fn slot_of(&self, page: u64) -> usize {
+        // Fibonacci hashing on the page number; pages are 8 KiB-aligned.
+        (((page >> 13).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & self.mask
+    }
+
     /// Translate the page of `addr`. Returns `true` on a hit; on a miss
     /// the translation is installed (evicting the LRU entry if full).
     pub fn access(&mut self, addr: u64) -> bool {
         self.stamp += 1;
         let page = page_base(addr);
-        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
-            e.1 = self.stamp;
-            self.hits += 1;
-            return true;
+        let mut i = self.slot_of(page);
+        loop {
+            let (key, _) = self.slots[i];
+            if key == page {
+                self.slots[i].1 = self.stamp;
+                self.hits += 1;
+                return true;
+            }
+            if key == EMPTY {
+                break;
+            }
+            i = (i + 1) & self.mask;
         }
         self.misses += 1;
-        if self.entries.len() == self.capacity {
-            // `unwrap_or(0)` never fires: capacity > 0, and the branch
-            // is only taken when the TLB is full.
-            let lru = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.1)
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            self.entries.swap_remove(lru);
+        if self.len == self.capacity {
+            self.evict_lru();
         }
-        self.entries.push((page, self.stamp));
+        self.insert(page, self.stamp);
         false
+    }
+
+    /// Install `page` (assumes it is absent and the table has room).
+    fn insert(&mut self, page: u64, stamp: u64) {
+        let mut i = self.slot_of(page);
+        while self.slots[i].0 != EMPTY {
+            i = (i + 1) & self.mask;
+        }
+        self.slots[i] = (page, stamp);
+        self.len += 1;
+    }
+
+    /// Remove the least-recently-used translation. Stamps are unique,
+    /// so the minimum identifies exactly one victim — the same one a
+    /// linear-scan implementation would pick.
+    fn evict_lru(&mut self) {
+        let mut victim = usize::MAX;
+        let mut best = u64::MAX;
+        for (i, &(key, stamp)) in self.slots.iter().enumerate() {
+            if key != EMPTY && stamp < best {
+                best = stamp;
+                victim = i;
+            }
+        }
+        // `victim` is always found: eviction only runs on a full table.
+        self.remove_at(victim);
+    }
+
+    /// Delete the entry at `i` with backward-shift deletion, keeping
+    /// every remaining entry reachable from its home slot.
+    fn remove_at(&mut self, i: usize) {
+        self.slots[i] = (EMPTY, 0);
+        self.len -= 1;
+        let mut gap = i;
+        let mut j = (i + 1) & self.mask;
+        while self.slots[j].0 != EMPTY {
+            let home = self.slot_of(self.slots[j].0);
+            // Shift `j` into the gap unless it sits between the gap and
+            // its home slot (cyclic comparison).
+            let between = if gap <= j {
+                gap < home && home <= j
+            } else {
+                home > gap || home <= j
+            };
+            if !between {
+                self.slots[gap] = self.slots[j];
+                self.slots[j] = (EMPTY, 0);
+                gap = j;
+            }
+            j = (j + 1) & self.mask;
+        }
     }
 
     /// (hits, misses).
@@ -66,12 +138,12 @@ impl Tlb {
 
     /// Number of resident translations.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when no translations are resident.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 }
 
@@ -119,6 +191,57 @@ mod tests {
             t.access(i * PAGE_BYTES);
         }
         assert_eq!(t.stats(), (10, 10));
+    }
+
+    #[test]
+    fn eviction_heavy_workload_matches_reference_lru() {
+        // Cross-check the hash-table implementation against a naive
+        // Vec-based true-LRU model under heavy eviction pressure.
+        struct Naive {
+            entries: Vec<(u64, u64)>,
+            cap: usize,
+            stamp: u64,
+        }
+        impl Naive {
+            fn access(&mut self, addr: u64) -> bool {
+                self.stamp += 1;
+                let page = page_base(addr);
+                if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
+                    e.1 = self.stamp;
+                    return true;
+                }
+                if self.entries.len() == self.cap {
+                    let lru = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.1)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    self.entries.swap_remove(lru);
+                }
+                self.entries.push((page, self.stamp));
+                false
+            }
+        }
+        let mut fast = Tlb::new(16);
+        let mut naive = Naive {
+            entries: Vec::new(),
+            cap: 16,
+            stamp: 0,
+        };
+        // Deterministic pseudo-random page sequence over 64 pages.
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = (x % 64) * PAGE_BYTES + (x % PAGE_BYTES);
+            assert_eq!(fast.access(addr), naive.access(addr));
+            assert_eq!(fast.len(), naive.entries.len());
+        }
+        let (h, m) = fast.stats();
+        assert!(h > 0 && m > 0, "exercise both paths: {h} hits {m} misses");
     }
 
     #[test]

@@ -184,7 +184,6 @@ impl MflushConfig {
 struct MfLoad {
     token: LoadToken,
     tid: usize,
-    issued_at: u64,
     /// Set once the load misses L1 (enters the L2 path).
     bank: Option<u32>,
     /// Absolute cycle of the Barrier (issued_at + barrier(prediction)).
@@ -211,6 +210,9 @@ pub struct MflushStats {
     pub false_flushes: u64,
 }
 
+/// Capacity of [`MflushPolicy::recent_issues`] (power of two).
+const RECENT_ISSUES: usize = 32;
+
 /// The MFLUSH fetch policy.
 pub struct MflushPolicy {
     cfg: MflushConfig,
@@ -220,6 +222,18 @@ pub struct MflushPolicy {
     stats: MflushStats,
     /// Preventive-state releases awaiting the next tick.
     pending_resumes: Vec<usize>,
+    /// Earliest cycle at which the per-tick scan could produce an
+    /// action, given no intervening events. Ticks before it (with no
+    /// pending resumes) are provably no-ops and return immediately;
+    /// every event that can create an earlier opportunity lowers it.
+    /// Purely an optimisation: decisions are byte-identical.
+    next_deadline: u64,
+    /// Issue cycles of recent loads, keyed by token low bits. Both
+    /// cores notify the L1 miss in the same call sequence as the
+    /// issue, so the slot is always still live when `on_l1d_miss`
+    /// reads it; deadlines stay *issue*-relative without keeping a
+    /// book-keeping entry for every L1-hit load.
+    recent_issues: [(LoadToken, u64); RECENT_ISSUES],
 }
 
 impl MflushPolicy {
@@ -233,6 +247,8 @@ impl MflushPolicy {
             threads: Vec::new(),
             stats: MflushStats::default(),
             pending_resumes: Vec::new(),
+            next_deadline: 0,
+            recent_issues: [(LoadToken::MAX, 0); RECENT_ISSUES],
         }
     }
 
@@ -262,6 +278,35 @@ impl MflushPolicy {
         self.threads.get(tid).copied().unwrap_or_default()
     }
 
+    /// Earliest deadline of any currently-eligible Barrier or
+    /// Preventive-State candidate (`u64::MAX` when none). Candidates
+    /// that are blocked on thread state (already flushed/stalled) are
+    /// excluded; the callbacks that unblock them reset
+    /// [`Self::next_deadline`].
+    fn earliest_deadline(&self) -> u64 {
+        let mut next = u64::MAX;
+        for l in &self.loads {
+            if l.bank.is_none() {
+                continue;
+            }
+            let th = self.thread(l.tid);
+            if th.flushed {
+                continue;
+            }
+            if !l.flush_fired {
+                if let Some(b) = l.barrier_at {
+                    next = next.min(b);
+                }
+            }
+            if self.cfg.preventive && !th.stalled {
+                if let Some(p) = l.preventive_at {
+                    next = next.min(p);
+                }
+            }
+        }
+        next
+    }
+
     /// Any in-flight suspicious access for `tid` at `cycle`?
     fn has_suspicious(&self, tid: usize, cycle: u64) -> bool {
         self.loads.iter().any(|l| {
@@ -278,6 +323,9 @@ impl FetchPolicy for MflushPolicy {
     }
 
     fn tick(&mut self, cycle: u64, _snaps: &[ThreadSnapshot], actions: &mut Vec<PolicyAction>) {
+        if self.pending_resumes.is_empty() && cycle < self.next_deadline {
+            return; // no candidate can fire yet: the scan is a no-op
+        }
         for tid in self.pending_resumes.drain(..) {
             actions.push(PolicyAction::Resume { tid });
         }
@@ -321,33 +369,47 @@ impl FetchPolicy for MflushPolicy {
             self.stats.preventive_entries += 1;
             actions.push(PolicyAction::Stall { tid });
         }
+        self.next_deadline = self.earliest_deadline();
     }
 
     fn fetch_priority(&mut self, _cycle: u64, snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {
         icount_order(snaps, out);
     }
 
-    fn on_load_issue(&mut self, tid: usize, token: LoadToken, _pc: u64, cycle: u64) {
-        self.loads.push(MfLoad {
-            token,
-            tid,
-            issued_at: cycle,
-            bank: None,
-            barrier_at: None,
-            preventive_at: None,
-            flush_fired: false,
-        });
+    fn on_load_issue(&mut self, _tid: usize, token: LoadToken, _pc: u64, cycle: u64) {
+        // Only the issue cycle is remembered here; full tracking
+        // starts at `on_l1d_miss`, so L1-hit loads (the vast majority)
+        // never touch the load book-keeping.
+        self.recent_issues[(token as usize) & (RECENT_ISSUES - 1)] = (token, cycle);
     }
 
-    fn on_l1d_miss(&mut self, _tid: usize, token: LoadToken, bank: u32, _cycle: u64) {
+    fn on_load_l1_hit(&mut self, _tid: usize, _token: LoadToken, _pc: u64, _cycle: u64) {
+        // Hit loads never enter the tracking vec, the MCReg only trains
+        // on L2 hits, and Preventive-State release can only be needed
+        // when a *tracked* (miss) load completes — so the default
+        // issue+complete round trip would find nothing to do.
+    }
+
+    fn on_l1d_miss(&mut self, tid: usize, token: LoadToken, bank: u32, cycle: u64) {
+        // Deadlines count from the *issue* cycle (the access's age per
+        // the paper), recovered from the issue ring.
+        let (t, at) = self.recent_issues[(token as usize) & (RECENT_ISSUES - 1)];
+        let issued_at = if t == token { at } else { cycle };
         // Read the MCReg for the target bank and establish the Barrier.
         let prediction = self.mcregs.predict(bank);
         let barrier = self.cfg.barrier(prediction);
         let preventive = self.cfg.preventive_threshold();
-        if let Some(l) = self.loads.iter_mut().find(|l| l.token == token) {
-            l.bank = Some(bank);
-            l.barrier_at = Some(l.issued_at + barrier);
-            l.preventive_at = Some(l.issued_at + preventive);
+        self.loads.push(MfLoad {
+            token,
+            tid,
+            bank: Some(bank),
+            barrier_at: Some(issued_at + barrier),
+            preventive_at: Some(issued_at + preventive),
+            flush_fired: false,
+        });
+        self.next_deadline = self.next_deadline.min(issued_at + barrier);
+        if self.cfg.preventive {
+            self.next_deadline = self.next_deadline.min(issued_at + preventive);
         }
     }
 
@@ -364,14 +426,17 @@ impl FetchPolicy for MflushPolicy {
         if l2_hit == Some(true) {
             self.mcregs.update(bank, latency);
         }
-        let was_flush_cause = self
-            .loads
-            .iter()
-            .any(|l| l.token == token && l.flush_fired);
+        // Tokens are unique: one ordered pass finds and removes the load.
+        let mut was_flush_cause = false;
+        // rposition: completing loads are usually the newest entries
+        // (L1 hits complete the cycle they issue).
+        if let Some(i) = self.loads.iter().rposition(|l| l.token == token) {
+            was_flush_cause = self.loads[i].flush_fired;
+            self.loads.remove(i);
+        }
         if was_flush_cause && l2_hit == Some(true) {
             self.stats.false_flushes += 1;
         }
-        self.loads.retain(|l| l.token != token);
 
         // Leave the Preventive State when nothing suspicious remains.
         let th = self.thread(tid);
@@ -383,7 +448,9 @@ impl FetchPolicy for MflushPolicy {
     }
 
     fn on_load_squashed(&mut self, tid: usize, token: LoadToken) {
-        self.loads.retain(|l| l.token != token);
+        if let Some(i) = self.loads.iter().rposition(|l| l.token == token) {
+            self.loads.remove(i);
+        }
         let th = self.thread(tid);
         if th.stalled && !th.flushed && !self.has_suspicious(tid, u64::MAX) {
             self.thread_mut(tid).stalled = false;
@@ -396,6 +463,9 @@ impl FetchPolicy for MflushPolicy {
         let t = self.thread_mut(tid);
         t.flushed = false;
         t.stalled = false;
+        // Barriers that lapsed while the thread was flushed become
+        // eligible again: force the next tick to scan.
+        self.next_deadline = 0;
     }
 }
 

@@ -41,6 +41,7 @@
 pub mod analysis;
 pub mod bbdict;
 pub mod check;
+pub mod fastgen;
 pub mod gen;
 pub mod instr;
 pub mod memstream;
@@ -52,6 +53,7 @@ pub mod stream;
 
 pub use analysis::{analyze, TraceStats};
 pub use bbdict::{BasicBlock, BasicBlockDict};
+pub use fastgen::FastTraceGenerator;
 pub use gen::TraceGenerator;
 pub use instr::{DynInstr, InstrClass, LogReg, UncondKind, NUM_LOG_REGS};
 pub use memstream::{MemRegion, MemStream};

@@ -40,6 +40,27 @@ echo "== observability (trace determinism, METRICS.md drift) =="
 cargo test -q --offline -p smtsim-core --test obs_trace
 cargo test -q --offline -p smtsim-core --test metrics_doc
 
+echo "== fidelity equivalence (detailed == pre-refactor bytes) =="
+# Gate 6: the pluggable-fidelity refactor's invariant (DESIGN.md §13).
+# Also part of the workspace test gate; named here because byte-drift
+# in the default fidelity silently invalidates every golden figure.
+cargo test -q --offline -p smtsim-core --test fidelity
+
+echo "== bench baseline delta (informational) =="
+# Not a gate: host time is machine-dependent. Prints the drift of the
+# reduced-fidelity configurations against BENCH_baseline.json so a
+# model-cost regression is visible in the CI log without flaking it.
+if [ -f BENCH_baseline.json ]; then
+    BP=target/release/bench_profile
+    "$BP" --workload 4W3 --policy mflush --cycles 300000 \
+          --fidelity mem=fast,core=approx --plain --json \
+          --baseline BENCH_baseline.json | tail -1
+    "$BP" --workload 4W3 --policy mflush --cycles 300000 \
+          --plain --json --baseline BENCH_baseline.json | tail -1
+else
+    echo "BENCH_baseline.json missing; run scripts/bench_baseline.sh" >&2
+fi
+
 echo "== rustdoc (-D warnings) =="
 # Gate 6: the API reference must build warning-free (missing docs on
 # the core/obs surfaces are warnings via #![warn(missing_docs)], and
