@@ -2,17 +2,19 @@
 //!
 //! ```text
 //! smtsim-lint [--root DIR] [--baseline FILE] [--json] [--list-rules]
+//!             [--explain D<n>]
 //! ```
 //!
 //! Walks every `.rs` file under the workspace root (found by searching
 //! upward from the current directory unless `--root` is given), runs
-//! rules D1–D8, applies inline waivers and the baseline file
+//! rules D1–D12, applies inline waivers and the baseline file
 //! (`scripts/lint-baseline.txt` by default), prints the findings and
 //! exits nonzero when any unwaived finding remains. With `--json` the
 //! full report is emitted through the workspace's `ToJson` machinery —
 //! byte-identical across runs over the same tree.
 
-use smtsim_analysis::{find_workspace_root, lint_root, Baseline, ALL_RULES};
+use smtsim_analysis::lints_doc::scope_kind;
+use smtsim_analysis::{find_workspace_root, lint_root, Baseline, Rule, ALL_RULES};
 use smtsim_core::json::ToJson;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,8 +35,24 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    eprintln!("smtsim-lint: --explain needs a rule id (D1..D12)");
+                    return ExitCode::from(2);
+                };
+                let Some(rule) = Rule::parse(&id) else {
+                    eprintln!("smtsim-lint: unknown rule `{id}` (try --list-rules)");
+                    return ExitCode::from(2);
+                };
+                println!("{} ({} scope) — {}", rule.id(), scope_kind(rule), rule.describe());
+                println!();
+                println!("{}", rule.explain());
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
-                println!("usage: smtsim-lint [--root DIR] [--baseline FILE] [--json] [--list-rules]");
+                println!(
+                    "usage: smtsim-lint [--root DIR] [--baseline FILE] [--json] [--list-rules] [--explain D<n>]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {

@@ -96,6 +96,7 @@ impl Coverage {
                         "pub field `{}` of `{name}` never reaches its ToJson impl: the JSON report silently drops it",
                         f.name
                     ),
+                    chain: Vec::new(),
                     waived: false,
                 });
             }

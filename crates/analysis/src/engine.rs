@@ -6,10 +6,12 @@
 //! reporting, and nothing (no clock, no hash order, no thread
 //! scheduling) can perturb the output between runs.
 
+use crate::callgraph::{check_graph, Graph};
 use crate::coverage::Coverage;
-use crate::findings::{Finding, LintReport};
+use crate::findings::{Finding, LintReport, Rule};
 use crate::lexer::lex;
 use crate::metrics_doc::{check_metrics_doc, collect_registrations, Registration};
+use crate::parse::{parse_file, FnDef};
 use crate::rules::check_file;
 use crate::waiver::{Baseline, Waivers};
 use std::collections::BTreeMap;
@@ -76,16 +78,28 @@ pub fn lint_files_doc(
     let mut coverage = Coverage::default();
     let mut waivers: BTreeMap<&str, Waivers> = BTreeMap::new();
     let mut registrations: Vec<Registration> = Vec::new();
+    let mut defs: Vec<FnDef> = Vec::new();
 
     for (rel, src) in files {
         let toks = lex(src);
         check_file(rel, &toks, &mut findings);
         coverage.scan_file(rel, &toks);
         collect_registrations(rel, &toks, &mut registrations);
+        defs.extend(parse_file(rel, &toks));
         waivers.insert(rel, Waivers::collect(&toks));
     }
     coverage.finish(&mut findings);
     check_metrics_doc(&registrations, metrics_doc, &mut findings);
+
+    // The call-graph pass (D10–D12, and D3's graph scope). When the
+    // file set defines cycle-loop roots, graph-D3 — which sees the
+    // whole call graph and therefore exonerates construction-time code
+    // — replaces the lexical hot-file scope.
+    let graph = Graph::build(defs);
+    if !graph.cycle_roots().is_empty() {
+        findings.retain(|f| f.rule != Rule::D3);
+    }
+    check_graph(&graph, &waivers, &mut findings);
 
     for f in &mut findings {
         let inline = waivers

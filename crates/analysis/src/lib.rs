@@ -21,6 +21,15 @@
 //! | D7 | no `catch_unwind` outside the sweep's panic boundary |
 //! | D8 | the metric registry and METRICS.md must agree, both ways |
 //! | D9 | golden-figure drivers must not use reduced-fidelity components |
+//! | D10 | no heap allocation reachable from the cycle-loop roots |
+//! | D11 | no panic site reachable from a run/sweep entry point |
+//! | D12 | no nondeterminism source reachable from sim state (graph D1/D2) |
+//!
+//! D10–D12 (and D3's graph scope) come from a light parser
+//! ([`parse`]) and a whole-workspace call graph ([`callgraph`]) built
+//! over the same token stream; their findings carry the full call
+//! chain from the root (`Simulator::step → … → Vec::new`). See the
+//! generated LINTS.md for every rule's scope and waiver syntax.
 //!
 //! Violations can be suppressed with an inline
 //! `// lint: allow(<rule>) -- <reason>` waiver ([`waiver`]) or a
@@ -34,11 +43,14 @@
 //! Std-only like the rest of the workspace: no syn, no regex, no
 //! walkdir — see DESIGN.md §9/§10.
 
+pub mod callgraph;
 pub mod coverage;
 pub mod engine;
 pub mod findings;
 pub mod lexer;
+pub mod lints_doc;
 pub mod metrics_doc;
+pub mod parse;
 pub mod rules;
 pub mod waiver;
 

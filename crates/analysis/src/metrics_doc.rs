@@ -147,6 +147,7 @@ pub fn check_metrics_doc(
                      (BLESS=1 cargo test -p smtsim-core --test metrics_doc)",
                     r.name
                 ),
+                chain: Vec::new(),
                 waived: false,
             });
         }
@@ -162,6 +163,7 @@ pub fn check_metrics_doc(
                     "METRICS.md documents `{name}` but no crate registers it; \
                      remove the row or restore the registration"
                 ),
+                chain: Vec::new(),
                 waived: false,
             });
         }

@@ -171,7 +171,7 @@ fn match_test_attr(toks: &[Tok<'_>], i: usize) -> Option<usize> {
 /// Given `toks[i]` == `#`, return the index just past the attribute's
 /// closing `]`. Handles both outer (`#[...]`) and inner (`#![...]`)
 /// attributes.
-fn skip_attr(toks: &[Tok<'_>], i: usize) -> usize {
+pub(crate) fn skip_attr(toks: &[Tok<'_>], i: usize) -> usize {
     let mut j = i + 1; // at `[`, or `!` for inner attributes
     if toks.get(j).map(|t| t.is_punct('!')) == Some(true) {
         j += 1;
@@ -196,7 +196,7 @@ fn skip_attr(toks: &[Tok<'_>], i: usize) -> usize {
 
 /// Given `toks[open]` == `{`, return the index of its matching `}` (or
 /// the last token on imbalance).
-fn match_brace(toks: &[Tok<'_>], open: usize) -> usize {
+pub(crate) fn match_brace(toks: &[Tok<'_>], open: usize) -> usize {
     let mut depth = 0i32;
     for (j, t) in toks.iter().enumerate().skip(open) {
         if t.is_punct('{') {
@@ -253,6 +253,7 @@ pub fn check_file(rel: &str, toks: &[Tok<'_>], out: &mut Vec<Finding>) {
             line: tok.line,
             symbol: symbol.to_string(),
             message,
+            chain: Vec::new(),
             waived: false,
         });
     };
@@ -496,6 +497,7 @@ fn check_float_counter_fields(
                                 "counter field `{}` declared as {}: cycle/event tallies must be integers",
                                 t.text, ty.text
                             ),
+                            chain: Vec::new(),
                             waived: false,
                         });
                     }

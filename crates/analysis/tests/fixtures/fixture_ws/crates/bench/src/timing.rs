@@ -1,7 +1,18 @@
 //! Fixture: crates/bench is the sanctioned wall-clock user — no D2
-//! finding for this file.
+//! finding for this file. But when simulator code *calls into* bench
+//! (see `Simulator::run` in the fixture sim.rs), D12 flags the
+//! nondeterminism sources here with the reaching chain.
 
 pub fn measure() -> std::time::Duration {
     let start = std::time::Instant::now();
     start.elapsed()
+}
+
+/// D12 (hash order): only a finding because the run path reaches it.
+pub fn dedup_count(xs: &[u64]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
 }

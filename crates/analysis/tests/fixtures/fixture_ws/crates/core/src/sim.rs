@@ -1,0 +1,46 @@
+//! Fixture: the call-graph rules (D10–D12, and D3's graph scope).
+//! `Simulator::step` is the cycle root and `Simulator::run` the run
+//! root; every case below is pinned by its distance from those roots.
+
+pub struct Simulator {
+    pub cycle: u64,
+    pub horizon: u64,
+    pub ready: Vec<u64>,
+}
+
+impl Simulator {
+    pub fn step(&mut self, core: &mut FixtureCore, q: &mut Vec<u64>) -> u64 {
+        self.cycle += 1;
+        // graph-D3 sees through this call: FixtureCore::step's unwraps
+        // in crates/cpu/src/core.rs get chains rooted here.
+        let head = core.step(q);
+        self.issue_stage(head)
+    }
+
+    fn issue_stage(&mut self, head: u64) -> u64 {
+        // D10: allocates every cycle, one frame below the cycle root.
+        let order: Vec<u64> = self.ready.iter().copied().collect();
+        order.first().copied().unwrap_or(head)
+    }
+
+    pub fn run(mut self, core: &mut FixtureCore, q: &mut Vec<u64>) -> u64 {
+        let mut last = 0;
+        while self.cycle < self.horizon {
+            last = self.step(core, q);
+        }
+        // D12: the run path reaches into crates/bench — a wall-clock
+        // read and a hash collection, each flagged with its chain.
+        let _spent = measure();
+        let _uniq = dedup_count(q);
+        finish(last)
+    }
+}
+
+/// D11: aborting the run via a macro — flagged even in a hot file
+/// (method-shaped unwraps in hot files are graph-D3's business).
+fn finish(last: u64) -> u64 {
+    if last == u64::MAX {
+        panic!("impossible commit count");
+    }
+    last
+}

@@ -124,6 +124,59 @@ fn seeded_d4_mutation_is_caught() {
 }
 
 #[test]
+fn seeded_d10_mutation_is_caught_with_its_chain() {
+    let root = workspace_root();
+    let mut files = collect_files(&root);
+    let baseline = Baseline::default();
+    let clean = lint_files(&files, &baseline);
+    assert!(
+        !clean.unwaived().any(|f| f.rule == Rule::D10),
+        "unmutated workspace must have zero unwaived D10 findings"
+    );
+
+    // Seed the defect: a fresh allocation inside `try_issue_one`,
+    // three frames below `DetailedCore::tick` in the cycle loop.
+    let anchor = "let (class, addr, queue, addr_pc) = {";
+    let detailed = files
+        .iter_mut()
+        .find(|(rel, _)| rel == "crates/cpu/src/detailed.rs")
+        .expect("detailed.rs present");
+    assert!(
+        detailed.1.contains(anchor),
+        "mutation anchor {anchor:?} not found in detailed.rs; update this test"
+    );
+    detailed.1 = detailed.1.replacen(
+        anchor,
+        "let _mutant: Vec<u64> = Vec::new();\n        let (class, addr, queue, addr_pc) = {",
+        1,
+    );
+
+    let mutated = lint_files(&files, &baseline);
+    let planted: Vec<_> = mutated
+        .findings
+        .iter()
+        .filter(|f| {
+            f.rule == Rule::D10 && f.path == "crates/cpu/src/detailed.rs" && f.symbol == "Vec::new"
+        })
+        .collect();
+    assert_eq!(planted.len(), 1, "expected the planted D10, got {planted:?}");
+    let f = planted[0];
+    assert!(!f.waived);
+    // The chain must walk from a cycle root down to the planted site's
+    // function through its one real caller.
+    assert_eq!(f.chain.last().map(String::as_str), Some("DetailedCore::try_issue_one"));
+    assert!(
+        f.chain.contains(&"DetailedCore::issue".to_string()),
+        "chain must pass through the only caller: {:?}",
+        f.chain
+    );
+    assert!(
+        mutated.unwaived_count() > clean.unwaived_count(),
+        "the seeded defect must fail the gate"
+    );
+}
+
+#[test]
 fn real_workspace_lints_clean() {
     let root = workspace_root();
     let baseline_path = root.join("scripts/lint-baseline.txt");

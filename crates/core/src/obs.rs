@@ -379,6 +379,7 @@ impl MetricsRecorder {
     /// Take one sample of every registered metric at cycle `now`.
     /// Samples are appended in registry order (cpu, mem, policy, core),
     /// instances in index order within each metric.
+    // lint: allow(D10) -- opt-in interval sampling: snapshots allocate by design and never run in golden-figure configs
     pub fn sample(&mut self, now: u64, cores: &[SmtCore], mem: &MemoryModel) {
         let stats: Vec<CoreStats> = cores.iter().map(|c| c.stats()).collect();
         let committed: Vec<u64> = stats

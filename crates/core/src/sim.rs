@@ -154,6 +154,7 @@ impl Simulator {
     /// Build the structured livelock report. The headline core is the
     /// one that has gone longest without committing (first such core on
     /// ties — deterministic).
+    // lint: allow(D10) -- watchdog abort diagnostics: runs at most once, after the simulation is already dead
     fn no_forward_progress(&self) -> SimError {
         let mut worst = 0usize;
         for (i, &cycle) in self.last_commit_cycle.iter().enumerate() {

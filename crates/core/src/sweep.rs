@@ -86,6 +86,7 @@ fn run_job(job: &SweepJob) -> JobOutcome {
             }
         }
     }
+    // lint: allow(D11) -- both retry attempts return; this arm is unreachable by construction
     unreachable!("loop returns on both attempts")
 }
 
@@ -183,6 +184,7 @@ pub fn run_sweep_ok(jobs: &[SweepJob], max_workers: usize) -> Vec<(String, SimRe
         .into_iter()
         .map(|(label, outcome)| match outcome {
             Ok(r) => (label, r),
+            // lint: allow(D11) -- documented contract: `_ok` aborts on any failed job rather than plot partial figures
             Err(e) => panic!("sweep job '{label}' failed: {e}"),
         })
         .collect()

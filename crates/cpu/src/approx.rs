@@ -92,6 +92,10 @@ pub struct IpcApproxCore {
     snaps: Vec<ThreadSnapshot>,
     prio: Vec<usize>,
     actions: Vec<PolicyAction>,
+    /// FLUSH-path scratch (D10: flushes happen inside the cycle loop
+    /// and must not allocate).
+    replay_scratch: Vec<DynInstr>,
+    squashed_loads_scratch: Vec<u64>,
     fetch_active_cycles: u64,
     rob_full_stalls: u64,
     mshr_retries: u64,
@@ -108,7 +112,6 @@ impl IpcApproxCore {
         policy: Box<dyn FetchPolicy>,
         programs: Vec<ThreadProgram>,
     ) -> Self {
-        // lint: allow(D3) -- construction-time validation, outside the cycle loop; configs fail fast
         cfg.validate().expect("invalid CoreConfig");
         assert_eq!(
             programs.len(),
@@ -145,6 +148,8 @@ impl IpcApproxCore {
             snaps: Vec::new(),
             prio: Vec::new(),
             actions: Vec::new(),
+            replay_scratch: Vec::new(),
+            squashed_loads_scratch: Vec::new(),
             fetch_active_cycles: 0,
             rob_full_stalls: 0,
             mshr_retries: 0,
@@ -345,8 +350,10 @@ impl IpcApproxCore {
             return;
         }
         let mut squashed: u32 = 0;
-        let mut replay: Vec<DynInstr> = Vec::new();
-        let mut squashed_loads: Vec<u64> = Vec::new();
+        let mut replay = std::mem::take(&mut self.replay_scratch);
+        replay.clear();
+        let mut squashed_loads = std::mem::take(&mut self.squashed_loads_scratch);
+        squashed_loads.clear();
         {
             let t = &mut self.threads[tid];
             while let Some(e) = t.window.back() {
@@ -369,7 +376,7 @@ impl IpcApproxCore {
                 replay.push(e.instr);
             }
             replay.reverse(); // back-to-front pops → program order
-            t.stream.unfetch(replay);
+            t.stream.unfetch(replay.drain(..));
             // Squashed loads' requests stay in flight in the memory
             // system; dropping their waiter entries makes each
             // completion a silent squash orphan. Flushes are rare and
@@ -379,9 +386,11 @@ impl IpcApproxCore {
             t.gate = FetchGate::Flushed { offender: token };
             t.flushes += 1;
         }
-        for lt in squashed_loads {
+        for lt in squashed_loads.drain(..) {
             self.policy.on_load_squashed(tid, lt);
         }
+        self.replay_scratch = replay;
+        self.squashed_loads_scratch = squashed_loads;
         self.flushes_executed += 1;
         if let Some(ring) = &mut self.trace {
             ring.emit(
@@ -471,7 +480,7 @@ impl IpcApproxCore {
                     }
                     AccessResult::MshrFull => {
                         // Put the load back and retry next cycle.
-                        t.stream.unfetch(vec![instr]);
+                        t.stream.unfetch([instr]);
                         self.next_token -= 1;
                         self.mshr_retries += 1;
                         break;

@@ -72,6 +72,16 @@ pub struct DetailedCore {
     snaps: Vec<ThreadSnapshot>,
     prio: Vec<usize>,
     actions: Vec<PolicyAction>,
+    /// Issue-stage candidate lists, one per queue kind (D10: the issue
+    /// stage runs every cycle and must not allocate).
+    iq_cands: [Vec<(u64, usize)>; 3],
+    /// Squash-path scratch: drained front-end entries, removed ROB
+    /// entries, and the two replay lists. Squashes are frequent enough
+    /// (every mispredict, every FLUSH) to live inside the D10 contract.
+    squash_fes: Vec<FrontendEntry>,
+    squash_rob: Vec<RobEntry>,
+    replay_buf: Vec<DynInstr>,
+    replay_fe: Vec<DynInstr>,
     // Core-level stats.
     fetch_active_cycles: u64,
     iq_full_stalls: u64,
@@ -92,7 +102,6 @@ impl DetailedCore {
         policy: Box<dyn FetchPolicy>,
         programs: Vec<ThreadProgram>,
     ) -> Self {
-        // lint: allow(D3) -- construction-time validation, outside the cycle loop; configs fail fast
         cfg.validate().expect("invalid CoreConfig");
         assert_eq!(
             programs.len(),
@@ -126,6 +135,11 @@ impl DetailedCore {
             snaps: Vec::new(),
             prio: Vec::new(),
             actions: Vec::new(),
+            iq_cands: [Vec::new(), Vec::new(), Vec::new()],
+            squash_fes: Vec::new(),
+            squash_rob: Vec::new(),
+            replay_buf: Vec::new(),
+            replay_fe: Vec::new(),
             fetch_active_cycles: 0,
             iq_full_stalls: 0,
             reg_full_stalls: 0,
@@ -412,7 +426,10 @@ impl DetailedCore {
     fn issue(&mut self, now: u64, mem: &mut MemoryModel) {
         // Gather ready candidates per queue, oldest (smallest token)
         // first across both threads.
-        let mut cands: [Vec<(u64, usize)>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut cands = std::mem::take(&mut self.iq_cands);
+        for list in cands.iter_mut() {
+            list.clear();
+        }
         for (tid, t) in self.threads.iter().enumerate() {
             for e in t.rob.iter() {
                 if e.state == InstrState::InQueue {
@@ -440,6 +457,7 @@ impl DetailedCore {
                 }
             }
         }
+        self.iq_cands = cands;
     }
 
     /// Issue one instruction; returns false when it must stay queued
@@ -742,12 +760,15 @@ impl DetailedCore {
     fn squash_younger(&mut self, tid: usize, keep_token: u64, cause: SquashCause, now: u64) -> u32 {
         // Front-end entries are all younger than anything in the ROB.
         let mut squashed: u32 = 0;
-        let mut replay_frontend: Vec<DynInstr> = Vec::new();
+        let mut replay_frontend = std::mem::take(&mut self.replay_fe);
+        replay_frontend.clear();
+        let mut fes = std::mem::take(&mut self.squash_fes);
+        fes.clear();
         {
             let t = &mut self.threads[tid];
-            let fes: Vec<FrontendEntry> = t.frontend.drain(..).collect();
+            fes.extend(t.frontend.drain(..));
             squashed += fes.len() as u32;
-            for fe in fes {
+            for fe in fes.drain(..) {
                 debug_assert!(fe.token > keep_token);
                 let stage = if now >= fe.fetched_at + 2 {
                     PipelineStage::Decode
@@ -763,9 +784,12 @@ impl DetailedCore {
                 }
             }
         }
-        let removed = self.threads[tid].rob.squash_younger(keep_token);
+        let mut removed = std::mem::take(&mut self.squash_rob);
+        removed.clear();
+        self.threads[tid].rob.squash_younger_into(keep_token, &mut removed);
         squashed += removed.len() as u32;
-        let mut replay_rob: Vec<DynInstr> = Vec::new();
+        let mut replay_rob = std::mem::take(&mut self.replay_buf);
+        replay_rob.clear();
         for e in &removed {
             // Newest-first: rename rollback order is correct.
             if let (Some(lr), Some((newr, prev))) = (e.instr.dst, e.dst) {
@@ -802,8 +826,12 @@ impl DetailedCore {
         // Replay in program order: ROB entries (reversed to oldest
         // first) then front-end entries.
         replay_rob.reverse();
-        replay_rob.extend(replay_frontend);
-        self.threads[tid].stream.unfetch(replay_rob);
+        replay_rob.append(&mut replay_frontend);
+        self.threads[tid].stream.unfetch(replay_rob.drain(..));
+        self.squash_fes = fes;
+        self.squash_rob = removed;
+        self.replay_buf = replay_rob;
+        self.replay_fe = replay_frontend;
 
         // If the wrong-path resolver died, the thread is back on the
         // correct path.
@@ -971,6 +999,7 @@ impl DetailedCore {
                 }
                 UncondKind::Jump => (true, self.btb.lookup(instr.pc)),
             },
+            // lint: allow(D11) -- fetch only calls predict_branch on branch-class instructions
             _ => unreachable!("predict_branch on non-branch"),
         };
         // Train the BTB with the resolved target (returns excluded:
@@ -1043,8 +1072,7 @@ impl DetailedCore {
             .expect("wrong-path mode")
             .cursor;
         let dict = Arc::clone(&self.threads[tid].dict);
-        let instrs = dict.synth_wrong_path(cursor, 8);
-        self.wp_buffers[tid].extend(instrs);
+        dict.synth_wrong_path_into(cursor, 8, &mut self.wp_buffers[tid]);
     }
 
     // ----------------------------------------------------------------

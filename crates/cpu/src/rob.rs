@@ -140,16 +140,16 @@ impl Rob {
         self.entries.pop_front()
     }
 
-    /// Remove every entry younger than `keep_token`, returning them
-    /// **newest first** (the order rename rollback requires).
-    pub fn squash_younger(&mut self, keep_token: u64) -> Vec<RobEntry> {
-        let mut removed = Vec::new();
+    /// Remove every entry younger than `keep_token`, appending them to
+    /// `out` **newest first** (the order rename rollback requires).
+    /// Into-style so the caller's scratch buffer survives across
+    /// squashes (rule D10: the squash path must not allocate).
+    pub fn squash_younger_into(&mut self, keep_token: u64, out: &mut Vec<RobEntry>) {
         while self.entries.back().is_some_and(|b| b.token > keep_token) {
             if let Some(e) = self.entries.pop_back() {
-                removed.push(e);
+                out.push(e);
             }
         }
-        removed
     }
 
     /// Iterate oldest → newest.
@@ -240,7 +240,8 @@ mod tests {
         for t in 0..10 {
             r.push(entry(t));
         }
-        let removed = r.squash_younger(4);
+        let mut removed = Vec::new();
+        r.squash_younger_into(4, &mut removed);
         let tokens: Vec<u64> = removed.iter().map(|e| e.token).collect();
         assert_eq!(tokens, vec![9, 8, 7, 6, 5]);
         assert_eq!(r.len(), 5);
@@ -251,7 +252,9 @@ mod tests {
     fn squash_with_future_token_is_noop() {
         let mut r = Rob::new(8);
         r.push(entry(0));
-        assert!(r.squash_younger(100).is_empty());
+        let mut removed = Vec::new();
+        r.squash_younger_into(100, &mut removed);
+        assert!(removed.is_empty());
         assert_eq!(r.len(), 1);
     }
 

@@ -24,6 +24,8 @@ pub struct ThreadProgram {
 
 impl ThreadProgram {
     /// Bundle a synthetic-trace generator (the common case).
+    // lint: allow(D5) -- construction-time Box of the stream; the crate clippy.toml bans Box::new for the cycle loop
+    #[allow(clippy::disallowed_methods)]
     pub fn from_generator(gen: TraceGenerator) -> Self {
         let dict = gen.dict_arc();
         let bases = gen.data_region_bases();
@@ -41,6 +43,8 @@ impl ThreadProgram {
     /// Bundle a reduced-fidelity generator (for the IPC-approx
     /// backend, which reads no register operands — see
     /// [`smtsim_trace::fastgen`]).
+    // lint: allow(D5) -- construction-time Box of the stream; the crate clippy.toml bans Box::new for the cycle loop
+    #[allow(clippy::disallowed_methods)]
     pub fn from_fast_generator(gen: FastTraceGenerator) -> Self {
         let dict = gen.dict_arc();
         let bases = gen.data_region_bases();

@@ -96,6 +96,8 @@ fn store_forwarding_engages_on_read_after_write_streams() {
     let gen = TraceGenerator::new(spec::benchmark_by_name("gzip").unwrap(), 1);
     let dict = gen.dict_arc();
     let env = PolicyEnv::paper(1);
+    // lint: allow(D5) -- test setup boxes its stream once; the crate clippy.toml bans Box::new for the cycle loop
+    #[allow(clippy::disallowed_methods)]
     let programs = vec![
         ThreadProgram::from_stream(Box::new(RawStream { seq: 0 }), dict.clone()),
         ThreadProgram::from_stream(Box::new(RawStream { seq: 0 }), dict),

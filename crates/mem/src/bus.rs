@@ -63,8 +63,10 @@ impl<T> SharedBus<T> {
     }
 
     /// Advance one cycle: arbitrate grants, then deliver everything whose
-    /// transit has finished. Returns delivered payloads.
-    pub fn tick(&mut self, now: u64) -> Vec<BusMsg<T>> {
+    /// transit has finished, appending delivered payloads to `out`
+    /// (into-style: the caller's buffer is reused every cycle — rule
+    /// D10: the bus ticks inside the cycle loop and must not allocate).
+    pub fn tick_into(&mut self, now: u64, out: &mut Vec<BusMsg<T>>) {
         self.ticks += 1;
         self.queue_len_integral += self
             .inputs
@@ -92,13 +94,11 @@ impl<T> SharedBus<T> {
 
         // Deliveries (in_flight is ordered by deliver_at because latency
         // is constant and grants are appended in time order).
-        let mut out = Vec::new();
         while self.in_flight.front().is_some_and(|&(t, _)| t <= now) {
             if let Some((_, payload)) = self.in_flight.pop_front() {
                 out.push(payload);
             }
         }
-        out
     }
 
     /// Messages waiting for a grant.
@@ -125,15 +125,22 @@ impl<T> SharedBus<T> {
 mod tests {
     use super::*;
 
+    /// Collecting wrapper over [`SharedBus::tick_into`] for assertions.
+    fn tick(bus: &mut SharedBus<u32>, now: u64) -> Vec<BusMsg<u32>> {
+        let mut out = Vec::new();
+        bus.tick_into(now, &mut out);
+        out
+    }
+
     #[test]
     fn delivers_after_latency() {
         let mut bus: SharedBus<u32> = SharedBus::new(1, 4, 1);
         bus.send(0, 7);
         // Granted at cycle 0, delivered at cycle 4.
         for now in 0..4 {
-            assert!(bus.tick(now).is_empty(), "early delivery at {now}");
+            assert!(tick(&mut bus, now).is_empty(), "early delivery at {now}");
         }
-        let d = bus.tick(4);
+        let d = tick(&mut bus, 4);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].payload, 7);
     }
@@ -145,10 +152,10 @@ mod tests {
             bus.send(0, i);
         }
         // One grant per cycle, zero latency: one delivery per tick.
-        assert_eq!(bus.tick(0).len(), 1);
-        assert_eq!(bus.tick(1).len(), 1);
-        assert_eq!(bus.tick(2).len(), 1);
-        assert_eq!(bus.tick(3).len(), 0);
+        assert_eq!(tick(&mut bus, 0).len(), 1);
+        assert_eq!(tick(&mut bus, 1).len(), 1);
+        assert_eq!(tick(&mut bus, 2).len(), 1);
+        assert_eq!(tick(&mut bus, 3).len(), 0);
     }
 
     #[test]
@@ -160,7 +167,7 @@ mod tests {
         }
         let mut order = Vec::new();
         for now in 0..8 {
-            for m in bus.tick(now) {
+            for m in tick(&mut bus, now) {
                 order.push(m.core);
             }
         }
@@ -177,7 +184,7 @@ mod tests {
         for core in 0..4 {
             bus.send(core, core);
         }
-        assert_eq!(bus.tick(0).len(), 4);
+        assert_eq!(tick(&mut bus, 0).len(), 4);
     }
 
     #[test]
@@ -187,7 +194,7 @@ mod tests {
             bus.send(0, i);
         }
         for now in 0..10 {
-            bus.tick(now);
+            tick(&mut bus, now);
         }
         assert_eq!(bus.total_granted(), 10);
         assert!(bus.mean_queue_len() > 0.0);

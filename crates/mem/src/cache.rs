@@ -85,7 +85,6 @@ impl SetAssocCache {
     /// Build an empty cache. Panics on invalid geometry (construction is
     /// configuration time, not simulation time).
     pub fn new(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
-        // lint: allow(D3) -- construction-time validation, outside the cycle loop; configs fail fast
         geometry.validate().expect("invalid cache geometry");
         let sets = geometry.sets();
         let ways = geometry.ways as usize;

@@ -45,12 +45,14 @@ impl<T> Dram<T> {
         }
     }
 
-    /// Advance to cycle `now`; returns payloads whose access completed.
-    pub fn tick(&mut self, now: u64) -> Vec<T> {
-        let mut done = Vec::new();
+    /// Advance to cycle `now`, appending payloads whose access
+    /// completed to `out` (into-style: the caller's buffer is reused
+    /// every cycle — rule D10: DRAM ticks inside the cycle loop and
+    /// must not allocate).
+    pub fn tick_into(&mut self, now: u64, out: &mut Vec<T>) {
         while self.in_service.front().is_some_and(|&(t, _)| t <= now) {
             if let Some((_, payload)) = self.in_service.pop_front() {
-                done.push(payload);
+                out.push(payload);
                 self.completed += 1;
                 // Promote a waiter into the freed slot.
                 if let Some(w) = self.waiting.pop_front() {
@@ -60,7 +62,6 @@ impl<T> Dram<T> {
                 break;
             }
         }
-        done
     }
 
     /// Requests currently in service or waiting.
@@ -78,12 +79,19 @@ impl<T> Dram<T> {
 mod tests {
     use super::*;
 
+    /// Collecting wrapper over [`Dram::tick_into`] for assertions.
+    fn tick(d: &mut Dram<u32>, now: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        d.tick_into(now, &mut out);
+        out
+    }
+
     #[test]
     fn completes_after_latency() {
         let mut d: Dram<u32> = Dram::new(250, 0);
         d.request(0, 1);
-        assert!(d.tick(249).is_empty());
-        assert_eq!(d.tick(250), vec![1]);
+        assert!(tick(&mut d, 249).is_empty());
+        assert_eq!(tick(&mut d, 250), vec![1]);
     }
 
     #[test]
@@ -92,8 +100,8 @@ mod tests {
         d.request(0, 1);
         d.request(0, 2);
         d.request(5, 3);
-        assert_eq!(d.tick(10), vec![1, 2]);
-        assert_eq!(d.tick(15), vec![3]);
+        assert_eq!(tick(&mut d, 10), vec![1, 2]);
+        assert_eq!(tick(&mut d, 15), vec![3]);
     }
 
     #[test]
@@ -102,10 +110,10 @@ mod tests {
         d.request(0, 1);
         d.request(0, 2);
         assert_eq!(d.pending(), 2);
-        assert_eq!(d.tick(10), vec![1]);
+        assert_eq!(tick(&mut d, 10), vec![1]);
         // Request 2 started at cycle 10, finishes at 20.
-        assert!(d.tick(19).is_empty());
-        assert_eq!(d.tick(20), vec![2]);
+        assert!(tick(&mut d, 19).is_empty());
+        assert_eq!(tick(&mut d, 20), vec![2]);
     }
 
     #[test]
@@ -113,7 +121,7 @@ mod tests {
         let mut d: Dram<u32> = Dram::new(5, 0);
         d.request(0, 1);
         d.request(1, 2);
-        d.tick(100);
+        tick(&mut d, 100);
         assert_eq!(d.stats(), (2, 2));
         assert_eq!(d.pending(), 0);
     }

@@ -97,7 +97,6 @@ impl FastMemory {
     /// Build the model. Panics on invalid configuration (same contract
     /// as [`crate::MemorySystem::new`]).
     pub fn new(cfg: MemConfig) -> Self {
-        // lint: allow(D3) -- construction-time validation, outside the cycle loop; configs fail fast
         cfg.validate().expect("invalid MemConfig");
         let cluster_geom = CacheGeometry {
             bytes: cfg.l2_bytes / cfg.l2_clusters as u64,

@@ -31,6 +31,11 @@ pub struct MshrEntry {
 pub struct MshrFile {
     entries: Vec<MshrEntry>,
     capacity: usize,
+    /// Retired waiter vectors kept for reuse (their capacity survives),
+    /// so steady-state [`Self::allocate`] never allocates (rule D10).
+    /// Callers of [`Self::complete`] hand the vector back through
+    /// [`Self::recycle`].
+    spare_waiters: Vec<Vec<u64>>,
     merges: u64,
     full_rejects: u64,
     peak_occupancy: usize,
@@ -43,6 +48,7 @@ impl MshrFile {
         MshrFile {
             entries: Vec::with_capacity(capacity),
             capacity,
+            spare_waiters: Vec::with_capacity(capacity),
             merges: 0,
             full_rejects: 0,
             peak_occupancy: 0,
@@ -60,12 +66,23 @@ impl MshrFile {
             self.full_rejects += 1;
             return MshrAlloc::Full;
         }
-        self.entries.push(MshrEntry {
-            line,
-            waiters: vec![req],
-        });
+        let mut waiters = self.spare_waiters.pop().unwrap_or_default();
+        waiters.clear();
+        waiters.push(req);
+        self.entries.push(MshrEntry { line, waiters });
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         MshrAlloc::Primary
+    }
+
+    /// Return a completed entry's waiter vector to the spare pool so
+    /// its capacity is reused by the next primary miss. Dropping the
+    /// vector instead is harmless but reintroduces steady-state
+    /// allocation.
+    pub fn recycle(&mut self, mut waiters: Vec<u64>) {
+        if self.spare_waiters.len() < self.capacity {
+            waiters.clear();
+            self.spare_waiters.push(waiters);
+        }
     }
 
     /// The line fetch completed: remove its entry and return all waiting

@@ -12,7 +12,7 @@ use crate::fault::FaultPlan;
 
 /// Local alias keeping arithmetic sites terse.
 const LINE_BYTES_U64: u64 = LINE_BYTES;
-use crate::bus::SharedBus;
+use crate::bus::{BusMsg, SharedBus};
 use crate::cache::{AccessOutcome, CacheGeometry, SetAssocCache, ReplacementPolicy};
 use crate::dram::Dram;
 use crate::histogram::LatencyHistogram;
@@ -374,6 +374,12 @@ pub struct MemorySystem {
     /// `cluster * l2_banks + addr_bank`.
     banks: Vec<L2Bank<BankToken>>,
     dram: Dram<DramToken>,
+    /// Tick-loop scratch (rule D10: `tick` runs every cycle and must
+    /// not allocate): bus deliveries, DRAM completions, and the waiter
+    /// list copied out of an MSHR entry while its core port is mutated.
+    bus_scratch: Vec<BusMsg<BusItem>>,
+    dram_scratch: Vec<DramToken>,
+    waiter_scratch: Vec<u64>,
     l2_hit_hist: LatencyHistogram,
     /// Per-load L2 *hit* latencies, including queueing — Fig. 4.
     total_completions: u64,
@@ -386,7 +392,6 @@ pub struct MemorySystem {
 impl MemorySystem {
     /// Build the hierarchy. Panics on invalid configuration.
     pub fn new(cfg: MemConfig) -> Self {
-        // lint: allow(D3) -- construction-time validation, outside the cycle loop; configs fail fast
         cfg.validate().expect("invalid MemConfig");
         let bank_geom = CacheGeometry {
             bytes: cfg.l2_bytes / (cfg.l2_clusters as u64 * cfg.l2_banks as u64),
@@ -425,6 +430,9 @@ impl MemorySystem {
                 .map(|_| L2Bank::new(bank_geom, cfg.l2_bank_cycles))
                 .collect(),
             dram: Dram::new(cfg.dram_cycles, cfg.dram_max_inflight),
+            bus_scratch: Vec::new(),
+            dram_scratch: Vec::new(),
+            waiter_scratch: Vec::new(),
             l2_hit_hist: LatencyHistogram::for_l2_hit_time(),
             total_completions: 0,
             dram_round_trips: 0,
@@ -496,11 +504,12 @@ impl MemorySystem {
                 // list with a no-op; simplest is to forget it.
                 if let Some(e) = self.cores[cidx].mshr.complete(line) {
                     // Restore the entry minus our request.
-                    for w in e.waiters {
+                    for &w in &e.waiters {
                         if w != req as u64 {
                             let _ = self.cores[cidx].mshr.allocate(line, w);
                         }
                     }
+                    self.cores[cidx].mshr.recycle(e.waiters);
                 }
                 self.inflight.remove(req);
             }
@@ -649,8 +658,10 @@ impl MemorySystem {
         }
 
         // 2. Buses: grants + deliveries to their cluster's bank queues.
+        let mut delivered = std::mem::take(&mut self.bus_scratch);
         for cluster in 0..self.buses.len() {
-            for msg in self.buses[cluster].tick(now) {
+            self.buses[cluster].tick_into(now, &mut delivered);
+            for msg in delivered.drain(..) {
                 match msg.payload {
                     BusItem::Demand { req, addr, write } => {
                         let bank = self.bank_index(cluster as u32, addr);
@@ -681,6 +692,7 @@ impl MemorySystem {
                 }
             }
         }
+        self.bus_scratch = delivered;
 
         // 3. Banks. Completions report the cluster-local bank id (what
         // a core's MCReg file indexes by).
@@ -702,17 +714,21 @@ impl MemorySystem {
                             let line = line_base(fl.addr);
                             // Notify every request waiting on this line
                             // (merged MSHR waiters miss the L2 too).
-                            let waiters: Vec<u64> = self.cores[core]
-                                .mshr
-                                .waiters(line)
-                                .map(|w| w.to_vec())
-                                .unwrap_or_default();
-                            for w in waiters {
+                            // Copied into scratch: the MSHR borrow must
+                            // end before the event pushes on the same
+                            // core port.
+                            let mut waiters = std::mem::take(&mut self.waiter_scratch);
+                            waiters.clear();
+                            waiters.extend_from_slice(
+                                self.cores[core].mshr.waiters(line).unwrap_or(&[]),
+                            );
+                            for &w in &waiters {
                                 self.cores[core].events.push(MemEvent::L2MissDetected {
                                     req: w as ReqId,
                                     at: now,
                                 });
                             }
+                            self.waiter_scratch = waiters;
                         }
                         self.dram.request(now, DramToken::Demand(req));
                     }
@@ -729,6 +745,7 @@ impl MemorySystem {
                         // writes are fire-and-forget.
                     }
                     (t, o) => {
+                        // lint: allow(D11) -- bank enqueue pairs each token kind with its op; a mismatch is a modelling bug
                         unreachable!("inconsistent bank token/outcome: {t:?} vs {o:?}")
                     }
                 }
@@ -736,7 +753,9 @@ impl MemorySystem {
         }
 
         // 4. Main memory returns.
-        for token in self.dram.tick(now) {
+        let mut dram_done = std::mem::take(&mut self.dram_scratch);
+        self.dram.tick_into(now, &mut dram_done);
+        for token in dram_done.drain(..) {
             if self.cfg.faults.drops_dram(now) {
                 // Swallow the response: the MSHR entry waiting on it
                 // leaks deliberately, which is exactly the livelock the
@@ -780,6 +799,7 @@ impl MemorySystem {
                 }
             }
         }
+        self.dram_scratch = dram_done;
     }
 
     /// Finish the line of `req`: complete all MSHR waiters, refill L1.
@@ -864,6 +884,7 @@ impl MemorySystem {
                 self.cores[cidx].outbox.push(completion);
             }
         }
+        self.cores[cidx].mshr.recycle(entry.waiters);
     }
 
     /// Take all completions for `core` (delivered during the most recent

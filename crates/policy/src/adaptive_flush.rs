@@ -127,7 +127,7 @@ impl FetchPolicy for AdaptiveFlushPolicy {
 
     fn tick(&mut self, cycle: u64, snaps: &[ThreadSnapshot], actions: &mut Vec<PolicyAction>) {
         self.maybe_adjust(cycle, snaps);
-        for (tid, token) in self.state.detect(cycle) {
+        for &(tid, token) in self.state.detect(cycle) {
             actions.push(PolicyAction::Flush { tid, token });
         }
     }

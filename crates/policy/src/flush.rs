@@ -44,6 +44,11 @@ pub(crate) struct DetectionState {
     pending_miss: Vec<(usize, LoadToken)>,
     /// Trigger count (statistics / tests).
     pub triggers: u64,
+    /// Detection scratch, reused every tick (rule D10: detection runs
+    /// inside the cycle loop and must not allocate). `out_scratch`
+    /// doubles as [`Self::detect`]'s return storage.
+    out_scratch: Vec<(usize, LoadToken)>,
+    cand_scratch: Vec<(usize, LoadToken, u64)>,
 }
 
 impl DetectionState {
@@ -54,6 +59,8 @@ impl DetectionState {
             gated: Vec::new(),
             pending_miss: Vec::new(),
             triggers: 0,
+            out_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
         }
     }
 
@@ -106,13 +113,17 @@ impl DetectionState {
     }
 
     /// Detection: pick at most one victim load per un-gated thread this
-    /// cycle. Marks the thread gated (callers emit the response action).
-    pub(crate) fn detect(&mut self, cycle: u64) -> Vec<(usize, LoadToken)> {
-        let mut out: Vec<(usize, LoadToken)> = Vec::new();
+    /// cycle. Marks the thread gated (callers emit the response
+    /// action). Returns a borrow of the internal scratch buffer — valid
+    /// until the next `detect` call.
+    pub(crate) fn detect(&mut self, cycle: u64) -> &[(usize, LoadToken)] {
+        let mut out = std::mem::take(&mut self.out_scratch);
+        out.clear();
         match self.trigger {
             FlushTrigger::DelayAfterIssue(x) => {
                 // Oldest over-threshold load per thread.
-                let mut candidates: Vec<(usize, LoadToken, u64)> = Vec::new();
+                let mut candidates = std::mem::take(&mut self.cand_scratch);
+                candidates.clear();
                 for l in &self.loads {
                     if l.triggered || self.gated(l.tid) {
                         continue;
@@ -128,13 +139,14 @@ impl DetectionState {
                         }
                     }
                 }
-                for (tid, token, _) in candidates {
+                for &(tid, token, _) in &candidates {
                     out.push((tid, token));
                 }
+                self.cand_scratch = candidates;
             }
             FlushTrigger::OnL2Miss => {
-                let pending = std::mem::take(&mut self.pending_miss);
-                for (tid, token) in pending {
+                for i in 0..self.pending_miss.len() {
+                    let (tid, token) = self.pending_miss[i];
                     if self.gated(tid) || out.iter().any(|o| o.0 == tid) {
                         continue;
                     }
@@ -143,6 +155,7 @@ impl DetectionState {
                         out.push((tid, token));
                     }
                 }
+                self.pending_miss.clear();
             }
         }
         for &(tid, token) in &out {
@@ -152,7 +165,15 @@ impl DetectionState {
             }
             self.triggers += 1;
         }
-        out
+        self.out_scratch = out;
+        &self.out_scratch
+    }
+
+    /// The most recent [`Self::detect`] result, re-borrowable after the
+    /// `&mut self` call ends (for callers that mutate themselves while
+    /// walking the victims).
+    pub(crate) fn detected(&self) -> &[(usize, LoadToken)] {
+        &self.out_scratch
     }
 }
 
@@ -200,7 +221,7 @@ impl FetchPolicy for FlushPolicy {
     }
 
     fn tick(&mut self, cycle: u64, _snaps: &[ThreadSnapshot], actions: &mut Vec<PolicyAction>) {
-        for (tid, token) in self.state.detect(cycle) {
+        for &(tid, token) in self.state.detect(cycle) {
             actions.push(PolicyAction::Flush { tid, token });
         }
     }

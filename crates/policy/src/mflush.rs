@@ -234,6 +234,10 @@ pub struct MflushPolicy {
     /// reads it; deadlines stay *issue*-relative without keeping a
     /// book-keeping entry for every L1-hit load.
     recent_issues: [(LoadToken, u64); RECENT_ISSUES],
+    /// Per-tick decision scratch, reused across ticks (rule D10: the
+    /// policy tick runs inside the cycle loop and must not allocate).
+    stall_scratch: Vec<usize>,
+    flush_scratch: Vec<(usize, LoadToken)>,
 }
 
 impl MflushPolicy {
@@ -249,6 +253,8 @@ impl MflushPolicy {
             pending_resumes: Vec::new(),
             next_deadline: 0,
             recent_issues: [(LoadToken::MAX, 0); RECENT_ISSUES],
+            stall_scratch: Vec::new(),
+            flush_scratch: Vec::new(),
         }
     }
 
@@ -331,8 +337,10 @@ impl FetchPolicy for MflushPolicy {
         }
         // Scan loads in the L2 path; collect decisions first (borrow
         // discipline), then mutate.
-        let mut to_stall: Vec<usize> = Vec::new();
-        let mut to_flush: Vec<(usize, LoadToken)> = Vec::new();
+        let mut to_stall = std::mem::take(&mut self.stall_scratch);
+        to_stall.clear();
+        let mut to_flush = std::mem::take(&mut self.flush_scratch);
+        to_flush.clear();
         for l in &self.loads {
             if l.bank.is_none() {
                 continue;
@@ -356,7 +364,7 @@ impl FetchPolicy for MflushPolicy {
                 }
             }
         }
-        for (tid, token) in to_flush {
+        for (tid, token) in to_flush.drain(..) {
             self.thread_mut(tid).flushed = true;
             if let Some(l) = self.loads.iter_mut().find(|l| l.token == token) {
                 l.flush_fired = true;
@@ -364,11 +372,13 @@ impl FetchPolicy for MflushPolicy {
             self.stats.flushes += 1;
             actions.push(PolicyAction::Flush { tid, token });
         }
-        for tid in to_stall {
+        for tid in to_stall.drain(..) {
             self.thread_mut(tid).stalled = true;
             self.stats.preventive_entries += 1;
             actions.push(PolicyAction::Stall { tid });
         }
+        self.stall_scratch = to_stall;
+        self.flush_scratch = to_flush;
         self.next_deadline = self.earliest_deadline();
     }
 

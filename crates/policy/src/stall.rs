@@ -59,12 +59,14 @@ impl FetchPolicy for StallPolicy {
         for tid in self.pending_resume.drain(..) {
             actions.push(PolicyAction::Resume { tid });
         }
-        for (tid, token) in self.state.detect(cycle) {
+        // Re-borrow `detected()` per iteration: `set_cause` needs
+        // `&mut self` while the detect slice lives in `self.state`.
+        self.state.detect(cycle);
+        for i in 0..self.state.detected().len() {
+            let (tid, token) = self.state.detected()[i];
             self.set_cause(tid, Some(token));
             actions.push(PolicyAction::Stall { tid });
         }
-        // Need mutable self later; split borrow by re-reading cause in
-        // the completion hook instead.
     }
 
     fn fetch_priority(&mut self, _cycle: u64, snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {

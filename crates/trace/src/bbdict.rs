@@ -12,6 +12,7 @@
 use crate::instr::{DynInstr, InstrClass, UncondKind};
 use crate::profile::BenchProfile;
 use crate::rng::Xoshiro256pp;
+use std::collections::VecDeque;
 
 /// Base address of the synthetic code segments. Each benchmark's code
 /// lives at `CODE_BASE + hash(name) · CODE_SPACING`, so instances of the
@@ -353,21 +354,24 @@ impl BasicBlockDict {
         }
     }
 
-    /// Synthesise up to `n` wrong-path instructions starting at `pc`.
+    /// Synthesise `n` wrong-path instructions starting at `pc`,
+    /// appending them to `out` (into-style so the core's per-thread
+    /// wrong-path buffer is reused — rule D10: the fetch path must not
+    /// allocate).
     ///
     /// Wrong-path instructions never commit; they exist to occupy fetch
     /// bandwidth and pollute the I-cache exactly as SMTsim models. The
     /// stream follows fall-through / always-taken unconditional control
     /// flow through the dictionary (the machine has no outcomes for the
     /// wrong path, so conditional branches are treated as not-taken).
-    pub fn synth_wrong_path(&self, pc: u64, n: usize) -> Vec<DynInstr> {
-        let mut out = Vec::with_capacity(n);
+    pub fn synth_wrong_path_into(&self, pc: u64, n: usize, out: &mut VecDeque<DynInstr>) {
+        let mut pushed = 0usize;
         let mut bi = self.block_index_at(pc);
         let mut block = self.block(bi);
         // Offset within the block.
         let mut slot =
             (((pc.saturating_sub(block.base_pc)) / 4) as usize).min(block.len() - 1);
-        while out.len() < n {
+        while pushed < n {
             let cls = block.classes[slot];
             let ipc = block.base_pc + 4 * slot as u64;
             let mut instr = DynInstr::nop(0, ipc);
@@ -378,7 +382,8 @@ impl BasicBlockDict {
                 instr.target = t;
                 instr.uncond_kind = UncondKind::Jump;
             }
-            out.push(instr);
+            out.push_back(instr);
+            pushed += 1;
             if slot + 1 < block.len() && cls != InstrClass::BranchUncond {
                 slot += 1;
             } else {
@@ -391,7 +396,15 @@ impl BasicBlockDict {
                 slot = 0;
             }
         }
-        out
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`Self::synth_wrong_path_into`] (tests and tools; the cores use
+    /// the into-variant with a reusable buffer).
+    pub fn synth_wrong_path(&self, pc: u64, n: usize) -> Vec<DynInstr> {
+        let mut out = VecDeque::with_capacity(n);
+        self.synth_wrong_path_into(pc, n, &mut out);
+        out.into()
     }
 }
 

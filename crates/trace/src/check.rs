@@ -126,6 +126,7 @@ impl Cases {
     /// `splitmix(base_seed + case_index)`; a panicking case aborts the
     /// run with a report naming the property, the case number and the
     /// reproducing seed.
+    // lint: allow(D11) -- the property harness's job is to panic with a reproducing seed; tests only, never in a sweep
     pub fn run(self, name: &str, prop: impl Fn(&mut Gen)) {
         if let Some(seed) = std::env::var("SMTSIM_PROP_REPLAY")
             .ok()

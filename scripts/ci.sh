@@ -15,12 +15,26 @@ cargo build --release --offline --workspace
 echo "== test (workspace, offline) =="
 cargo test -q --offline --workspace
 
-echo "== determinism lint (smtsim-lint) =="
-# Gate 3: the in-tree determinism linter (DESIGN.md §10). Exits nonzero
-# on any unwaived finding; the baseline file grandfathers nothing today
-# (it is kept empty on purpose).
+echo "== determinism lint (smtsim-lint, call-graph rules) =="
+# Gate 3: the in-tree determinism linter (DESIGN.md §10/§14), including
+# the call-graph rules D10-D12. Exits nonzero on any unwaived finding;
+# the baseline file grandfathers nothing today (it is kept empty on
+# purpose). The runtime budget line is informational (host time never
+# gates) but keeps the whole-workspace graph pass honest: if it creeps
+# past the budget, precompute or prune before it gets skipped-when-slow.
+LINT_BUDGET_MS=5000
+lint_start=$(date +%s%N)
 cargo run --release --offline -q -p smtsim-analysis --bin smtsim-lint -- \
     --baseline scripts/lint-baseline.txt
+lint_ms=$(( ($(date +%s%N) - lint_start) / 1000000 ))
+echo "lint runtime: ${lint_ms}ms (budget ${LINT_BUDGET_MS}ms, informational)"
+if [ "$lint_ms" -gt "$LINT_BUDGET_MS" ]; then
+    echo "warning: lint runtime exceeded its budget" >&2
+fi
+# The linter's own gates: fixture golden + seeded mutations, and the
+# generated LINTS.md must match the Rule metadata (BLESS=1 regenerates).
+cargo test -q --offline -p smtsim-analysis --test lint_golden
+cargo test -q --offline -p smtsim-analysis --test lints_doc
 
 echo "== robustness (fault injection, watchdog, kill-resume) =="
 # Gate 4: the failure-model suite (DESIGN.md §11). The targets also run
