@@ -457,6 +457,34 @@ pub fn check_graph(
                 }
             }
         }
+
+        // D13 — the simulator must never reach the serving layer.
+        // Lexical D13 bans std::net outside crates/serve; this half
+        // bans the inverted dependency: any function *defined* in
+        // crates/serve that a cycle/run root can reach means sim code
+        // is calling up into the server (host I/O in the replay path).
+        let prune = fn_waived(Rule::D13);
+        let parents = graph.reach(&roots, &prune);
+        for (id, d) in graph.nodes().iter().enumerate() {
+            if parents[id].is_none() || prune(id) {
+                continue;
+            }
+            if d.file.starts_with("crates/serve/") {
+                let chain = graph.chain(&parents, id);
+                out.push(Finding {
+                    rule: Rule::D13,
+                    path: d.file.clone(),
+                    line: d.line,
+                    symbol: d.label(),
+                    message: format!(
+                        "serve-layer function reachable from sim state (`{}`): the server drives the simulator, never the reverse",
+                        chain[0]
+                    ),
+                    chain,
+                    waived: false,
+                });
+            }
+        }
     }
 }
 

@@ -40,10 +40,13 @@ pub enum Rule {
     /// No nondeterminism source reachable from simulator state
     /// (call-graph scope; the graph upgrade of D1/D2).
     D12,
+    /// No `std::net` outside `crates/serve` (lexical), and no serve
+    /// function reachable from a simulator root (call-graph scope).
+    D13,
 }
 
 /// All rules, in id order.
-pub const ALL_RULES: [Rule; 12] = [
+pub const ALL_RULES: [Rule; 13] = [
     Rule::D1,
     Rule::D2,
     Rule::D3,
@@ -56,6 +59,7 @@ pub const ALL_RULES: [Rule; 12] = [
     Rule::D10,
     Rule::D11,
     Rule::D12,
+    Rule::D13,
 ];
 
 impl Rule {
@@ -74,6 +78,7 @@ impl Rule {
             Rule::D10 => "D10",
             Rule::D11 => "D11",
             Rule::D12 => "D12",
+            Rule::D13 => "D13",
         }
     }
 
@@ -92,6 +97,7 @@ impl Rule {
             Rule::D10 => "no heap allocation (Vec::new, vec!, Box::new, clone, format!, to_string, collect, ...) in functions reachable from the cycle-loop roots",
             Rule::D11 => "no panic site (unwrap/expect outside D3's hot files, panic!, unreachable!) in functions reachable from a run/sweep entry point",
             Rule::D12 => "no nondeterminism source (wall-clock call, hash-ordered collection) reachable from sim state where D1/D2 do not already apply",
+            Rule::D13 => "no std::net (TcpListener, TcpStream, UdpSocket) outside crates/serve, and no serve-layer function reachable from a simulator root",
         }
     }
 
@@ -156,6 +162,14 @@ simulator src/) are still defects when the simulator can actually reach them. Sc
 call-graph — Instant::now/SystemTime::now calls in crates/bench and HashMap/HashSet uses \
 outside D1's scope, inside non-test functions reachable from a cycle-loop or run root. Fix: \
 keep clock reads and hash collections out of anything the simulator calls.",
+            Rule::D13 => "The network is nondeterministic input and the serving layer is the one \
+blessed place to touch it: a socket read inside the simulator would put host I/O timing in the \
+replay path, and a sim-to-serve call would invert the dependency the workspace is layered \
+around (serve drives the simulator, never the reverse). Scope: lexical — the idents \
+TcpListener/TcpStream/UdpSocket and the path `std::net` in any file outside crates/serve, test \
+code included; call-graph — functions defined in crates/serve reachable from a cycle-loop or \
+run root. Fix: keep socket code in crates/serve and hand it plain strings/bytes across the \
+boundary.",
         }
     }
 
@@ -279,7 +293,7 @@ mod tests {
         for r in ALL_RULES {
             assert_eq!(Rule::parse(r.id()), Some(r));
         }
-        assert_eq!(Rule::parse("D13"), None);
+        assert_eq!(Rule::parse("D14"), None);
     }
 
     #[test]

@@ -24,8 +24,9 @@
 //! | D10 | no heap allocation reachable from the cycle-loop roots |
 //! | D11 | no panic site reachable from a run/sweep entry point |
 //! | D12 | no nondeterminism source reachable from sim state (graph D1/D2) |
+//! | D13 | no `std::net` outside `crates/serve`, no serve code reachable from sim state |
 //!
-//! D10–D12 (and D3's graph scope) come from a light parser
+//! D10–D13 (and D3's graph scope) come from a light parser
 //! ([`parse`]) and a whole-workspace call graph ([`callgraph`]) built
 //! over the same token stream; their findings carry the full call
 //! chain from the root (`Simulator::step → … → Vec::new`). See the

@@ -17,6 +17,7 @@ pub fn scope_kind(rule: Rule) -> &'static str {
         Rule::D4 => "cross-file",
         Rule::D8 => "registry/doc pair",
         Rule::D3 | Rule::D10 | Rule::D11 | Rule::D12 => "call-graph",
+        Rule::D13 => "file + call-graph",
     }
 }
 

@@ -1,4 +1,4 @@
-//! The per-file determinism rules (D1, D2, D3, D5, D6, D7, D9).
+//! The per-file determinism rules (D1, D2, D3, D5, D6, D7, D9, D13).
 //!
 //! Each rule is a pass over one file's token stream. Rules never look
 //! inside comments or string literals (the lexer already separated
@@ -234,6 +234,18 @@ fn is_counter_name(name: &str) -> bool {
 /// code included; tests assert panics with `#[should_panic]` instead).
 const PANIC_BOUNDARY_FILE: &str = "crates/core/src/sweep.rs";
 
+/// The one crate allowed to touch the network: the serving layer.
+/// Like D7, D13's scope is absolute (test code included) — a test
+/// elsewhere that opens a socket couples the determinism suite to the
+/// host network stack.
+const NET_BOUNDARY_PREFIX: &str = "crates/serve/";
+
+/// Socket types whose mere mention outside the serve crate is a D13
+/// finding (mirrors REDUCED_FIDELITY_IDENTS' mention-based form: an
+/// import alone already creates the dependency the rule exists to
+/// forbid).
+const NET_IDENTS: &[&str] = &["TcpListener", "TcpStream", "UdpSocket"];
+
 /// Run D1, D2, D3, D5, D6 and D7 over one file. Waivers are applied
 /// later by the engine; this emits raw findings.
 pub fn check_file(rel: &str, toks: &[Tok<'_>], out: &mut Vec<Finding>) {
@@ -392,6 +404,40 @@ pub fn check_file(rel: &str, toks: &[Tok<'_>], out: &mut Vec<Finding>) {
                     "catch_unwind outside {PANIC_BOUNDARY_FILE}: panic isolation has one blessed boundary (the sweep runner); swallowing panics elsewhere hides replay-breaking bugs"
                 ),
             );
+        }
+
+        // D13 (lexical form): std::net outside the serve crate. Two
+        // triggers: a socket-type ident, or the path `std :: net`
+        // (catches `use std::net::…` spellings that never name a
+        // type). Deliberately NOT test-exempt, like D7.
+        if !rel.starts_with(NET_BOUNDARY_PREFIX) && t.kind == TokKind::Ident {
+            if NET_IDENTS.contains(&t.text) {
+                push(
+                    out,
+                    Rule::D13,
+                    t,
+                    t.text,
+                    format!(
+                        "`{}` outside {NET_BOUNDARY_PREFIX}: sockets are nondeterministic host input; only the serving layer may touch std::net",
+                        t.text
+                    ),
+                );
+            }
+            if t.text == "std"
+                && next.map(|n| n.is_punct(':')) == Some(true)
+                && sig.get(si + 2).map(|&n| toks[n].is_punct(':')) == Some(true)
+                && sig.get(si + 3).map(|&n| toks[n].is_ident("net")) == Some(true)
+            {
+                push(
+                    out,
+                    Rule::D13,
+                    t,
+                    "std::net",
+                    format!(
+                        "`std::net` outside {NET_BOUNDARY_PREFIX}: sockets are nondeterministic host input; only the serving layer may touch std::net"
+                    ),
+                );
+            }
         }
 
         // D6 (accumulation form): `.counter += <float stuff>;`

@@ -1,0 +1,18 @@
+//! Fixture: D13's lexical form — `std::net` spellings and socket-type
+//! idents outside `crates/serve/` are findings wherever they appear
+//! (the graph form is exercised from `sim.rs`, whose cycle root calls
+//! into the serve fixture file).
+
+use std::net::TcpStream;
+
+pub struct NetPoller {
+    pub polls: u64,
+}
+
+impl NetPoller {
+    /// D13 (lexical): a socket type mentioned in simulator code.
+    pub fn connect_upstream(&mut self) -> Option<TcpStream> {
+        self.polls += 1;
+        None
+    }
+}

@@ -20,7 +20,10 @@ impl Simulator {
     fn issue_stage(&mut self, head: u64) -> u64 {
         // D10: allocates every cycle, one frame below the cycle root.
         let order: Vec<u64> = self.ready.iter().copied().collect();
-        order.first().copied().unwrap_or(head)
+        // D13 (graph): the cycle loop reaching a serve-defined
+        // function (crates/serve/src/server.rs) inverts the layering.
+        let backlog = poll_socket_backlog(&mut self.srv);
+        order.first().copied().unwrap_or(head + backlog)
     }
 
     pub fn run(mut self, core: &mut FixtureCore, q: &mut Vec<u64>) -> u64 {

@@ -1,0 +1,18 @@
+//! Fixture: the serve side of D13. Socket types *inside*
+//! `crates/serve/` are the sanctioned use and must stay silent; the
+//! function below only becomes a finding when simulator code reaches
+//! it (see `crates/core/src/netloop.rs` in this fixture workspace).
+
+use std::net::TcpListener;
+
+pub struct FixtureServer {
+    pub bound: bool,
+}
+
+/// Called (wrongly) from the fixture's cycle loop: D13's graph form
+/// flags this definition with the chain that reaches it.
+pub fn poll_socket_backlog(srv: &mut FixtureServer) -> u64 {
+    let _ = TcpListener::bind("127.0.0.1:0");
+    srv.bound = true;
+    1
+}

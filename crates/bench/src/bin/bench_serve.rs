@@ -1,0 +1,95 @@
+//! `bench_serve` — host-time cost of a served answer: cold (first
+//! request, simulates) vs cache hit (repeat request, replays the
+//! journal). The gap is the whole point of the fingerprint cache, so
+//! CI prints this record informationally (host time never gates).
+//!
+//! ```text
+//! bench_serve [--workload 2W2] [--policy mflush] [--cycles N] [--hits N]
+//! ```
+//!
+//! Output is one JSON record per run, the format stored in
+//! `BENCH_serve.json`.
+
+use std::time::Instant;
+
+use smtsim_serve::server::{Server, ServerConfig};
+use smtsim_serve::{http_post, ClientResponse};
+
+// lint: allow(D5) -- crates/bench is the one sanctioned wall-clock user
+#[allow(clippy::disallowed_methods)]
+fn timed_post(addr: &str, body: &str) -> (f64, ClientResponse) {
+    let start = Instant::now();
+    let resp = http_post(addr, "/run", body, 0).unwrap_or_else(|e| {
+        eprintln!("error: request failed: {e}");
+        std::process::exit(1);
+    });
+    (start.elapsed().as_secs_f64() * 1e3, resp)
+}
+
+fn main() {
+    let mut workload = String::from("2W2");
+    let mut policy = String::from("mflush");
+    let mut cycles: u64 = smtsim_core::config::DEFAULT_CYCLES;
+    let mut hits: u32 = 5;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    let usage = || -> ! {
+        eprintln!("usage: bench_serve [--workload <xWy>] [--policy <p>] [--cycles N] [--hits N]");
+        std::process::exit(2);
+    };
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for --{name}");
+                usage();
+            })
+        };
+        match a.as_str() {
+            "--workload" => workload = next("workload"),
+            "--policy" => policy = next("policy"),
+            "--cycles" => {
+                cycles = next("cycles").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --cycles value");
+                    usage();
+                })
+            }
+            "--hits" => {
+                hits = next("hits").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --hits value");
+                    usage();
+                })
+            }
+            _ => usage(),
+        }
+    }
+
+    let handle = Server::launch(ServerConfig::default()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let addr = handle.bound_addr();
+    let body =
+        format!("{{\"workload\":\"{workload}\",\"policy\":\"{policy}\",\"cycles\":{cycles}}}");
+
+    let (cold_ms, cold) = timed_post(&addr, &body);
+    if cold.status != 200 {
+        eprintln!("error: cold request answered {}", cold.status);
+        std::process::exit(1);
+    }
+
+    // Best-of-N for the hit path: it is microseconds of cache lookup
+    // plus the HTTP round-trip, so scheduler noise dominates the mean.
+    let mut hit_ms = f64::INFINITY;
+    for _ in 0..hits.max(1) {
+        let (ms, r) = timed_post(&addr, &body);
+        assert_eq!(r.body, cold.body, "cache replay must be byte-identical");
+        hit_ms = hit_ms.min(ms);
+    }
+    handle.begin_drain();
+    handle.wait_for_drain();
+
+    println!(
+        "{{\"bench\":\"serve\",\"workload\":\"{workload}\",\"policy\":\"{policy}\",\"cycles\":{cycles},\"cold_ms\":{cold_ms:.3},\"hit_ms\":{hit_ms:.3},\"speedup\":{:.1}}}",
+        cold_ms / hit_ms.max(0.001)
+    );
+}

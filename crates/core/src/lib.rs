@@ -28,6 +28,7 @@
 //!   and Chrome `trace_event` export) and the interval metrics sampler
 //!   behind METRICS.md.
 
+pub mod cache;
 pub mod calibration;
 pub mod config;
 pub mod error;
@@ -41,6 +42,7 @@ pub mod sweep;
 pub mod topology;
 pub mod workloads;
 
+pub use cache::{config_fingerprint, CacheEntry, ResultCache};
 pub use calibration::{calibrate, calibrate_one, CalRow};
 pub use error::{CoreDiagnostic, ProgressDiagnostic, SimError};
 pub use json::ToJson;

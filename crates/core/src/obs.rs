@@ -67,14 +67,18 @@ pub const METRIC_THROUGHPUT_IPC: MetricSpec = MetricSpec {
 pub const METRICS: &[MetricSpec] = &[METRIC_THROUGHPUT_IPC];
 
 /// Every registered metric across the workspace, in sampling order:
-/// cpu, mem, policy, core. This is the single aggregation point the
-/// METRICS.md generator and the sampler both consume.
+/// cpu, mem, policy, core, then the serve-layer service counters
+/// (registered in `smtsim-obs` because core cannot depend on serve).
+/// This is the single aggregation point the METRICS.md generator and
+/// the sampler both consume; the sampler skips `krate == "serve"`
+/// entries — those are host-side counters reported by `/healthz`.
 pub fn all_metrics() -> Vec<MetricSpec> {
     let mut v = Vec::new();
     v.extend_from_slice(smtsim_cpu::METRICS);
     v.extend_from_slice(smtsim_mem::METRICS);
     v.extend_from_slice(smtsim_policy::METRICS);
     v.extend_from_slice(METRICS);
+    v.extend_from_slice(smtsim_obs::SERVE_METRICS);
     v
 }
 
@@ -501,8 +505,10 @@ pub fn metrics_markdown() -> String {
     let mut s = String::new();
     s.push_str("# Metrics reference\n\n");
     s.push_str(
-        "Every named metric the interval sampler records, one row per\n\
-         registration. **Generated** from the `MetricSpec` constants by\n\
+        "Every registered metric, one row per registration: the\n\
+         simulator metrics the interval sampler records, plus the\n\
+         `serve` service counters reported by `smtsim serve`'s\n\
+         `/healthz` endpoint. **Generated** from the `MetricSpec` constants by\n\
          `metrics_markdown()` in `crates/core/src/obs.rs` — edit the\n\
          constants, then regenerate with\n\
          `BLESS=1 cargo test -p smtsim-core --test metrics_doc`.\n\

@@ -23,7 +23,7 @@
 
 use crate::config::SimConfig;
 use crate::error::SimError;
-use crate::json::{parse_json, JsonObject, ToJson};
+use crate::json::{parse_json, JsonObject};
 use crate::result::SimResult;
 use crate::sim::Simulator;
 use std::fs::{File, OpenOptions};
@@ -200,19 +200,9 @@ pub fn run_sweep_ok(jobs: &[SweepJob], max_workers: usize) -> Vec<(String, SimRe
 // different cycles/seed) from polluting a new run.
 // ---------------------------------------------------------------------
 
-/// FNV-1a 64-bit, the journal's config fingerprint.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn config_fingerprint(cfg: &SimConfig) -> String {
-    format!("{:016x}", fnv64(cfg.to_json().as_bytes()))
-}
+// The fingerprint lives in crate::cache (pub) since the serve-layer
+// result cache keys on the identical hash; the journal reuses it.
+use crate::cache::config_fingerprint;
 
 fn append_journal_line(jf: &Mutex<File>, index: usize, job: &SweepJob, outcome: &JobOutcome) {
     let mut line = String::new();
@@ -276,6 +266,7 @@ fn parse_journal_line(line: &str, jobs: &[SweepJob]) -> Option<(usize, JobOutcom
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::ToJson;
     use crate::workloads::Workload;
     use smtsim_policy::PolicyKind;
 
@@ -468,13 +459,5 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 1);
         let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn fnv_fingerprint_is_stable() {
-        // Pinned so journals survive recompilation: this is a file
-        // format, not an implementation detail.
-        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
-        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
     }
 }

@@ -299,6 +299,77 @@ pub struct MetricSample {
     pub value: f64,
 }
 
+// ---------------------------------------------------------------------
+// Serve-layer metrics (smtsim-serve)
+// ---------------------------------------------------------------------
+//
+// The serving layer (crates/serve) cannot be depended on by
+// smtsim-core, so its MetricSpec registrations live here in the leaf
+// observability crate and are aggregated by `smtsim-core::obs`'s
+// `all_metrics()`. Unlike the simulator metrics these are host-side
+// service counters, reported by the server's `/healthz` endpoint
+// rather than the interval sampler. Lint rule D8 still cross-checks
+// them against METRICS.md.
+
+/// Requests waiting in the server's bounded accept queue.
+pub const METRIC_SERVE_QUEUE_DEPTH: MetricSpec = MetricSpec {
+    name: "serve.queue_depth",
+    unit: "requests",
+    kind: MetricKind::Gauge,
+    krate: "serve",
+    doc: "Requests waiting in the bounded accept queue, sampled at /healthz.",
+    figure: "",
+};
+
+/// Requests answered byte-identically from the fingerprint cache.
+pub const METRIC_SERVE_CACHE_HITS: MetricSpec = MetricSpec {
+    name: "serve.cache_hits",
+    unit: "requests",
+    kind: MetricKind::Counter,
+    krate: "serve",
+    doc: "Requests answered byte-identically from the fingerprint-keyed result cache.",
+    figure: "",
+};
+
+/// Requests that missed the cache and ran a fresh simulation.
+pub const METRIC_SERVE_CACHE_MISSES: MetricSpec = MetricSpec {
+    name: "serve.cache_misses",
+    unit: "requests",
+    kind: MetricKind::Counter,
+    krate: "serve",
+    doc: "Requests that missed the cache (or coalesced onto an in-flight job) and simulated.",
+    figure: "",
+};
+
+/// Requests shed with 429/503 + Retry-After under overload or drain.
+pub const METRIC_SERVE_SHED_TOTAL: MetricSpec = MetricSpec {
+    name: "serve.shed_total",
+    unit: "requests",
+    kind: MetricKind::Counter,
+    krate: "serve",
+    doc: "Requests shed with 429/503 plus Retry-After because the queue was full or the server was draining.",
+    figure: "",
+};
+
+/// Job retries after JobPanicked / watchdog, paced by seeded backoff.
+pub const METRIC_SERVE_RETRIES_TOTAL: MetricSpec = MetricSpec {
+    name: "serve.retries_total",
+    unit: "retries",
+    kind: MetricKind::Counter,
+    krate: "serve",
+    doc: "Job re-executions after JobPanicked or watchdog abort, paced by fingerprint-seeded backoff.",
+    figure: "",
+};
+
+/// Every serve-layer metric, in documentation order.
+pub const SERVE_METRICS: &[MetricSpec] = &[
+    METRIC_SERVE_QUEUE_DEPTH,
+    METRIC_SERVE_CACHE_HITS,
+    METRIC_SERVE_CACHE_MISSES,
+    METRIC_SERVE_SHED_TOTAL,
+    METRIC_SERVE_RETRIES_TOTAL,
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;

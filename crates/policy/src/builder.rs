@@ -80,6 +80,59 @@ impl PolicyKind {
         }
     }
 
+    /// Parse a CLI/request policy name (case-insensitive): `icount`,
+    /// `rr`/`roundrobin`, `brcount`, `l1dmisscount`/`misscount`,
+    /// `adts`, `dcra`, `flush-ns`, `stall-ns`, `mflush`,
+    /// `flush-adapt`/`adaptive`, `flush-sNN`, `stall-sNN`. Returns
+    /// `None` for anything else (callers render did-you-mean hints).
+    /// `MflushCustom` and `FlushMissPredict` are programmatic-only.
+    pub fn parse_name(s: &str) -> Option<PolicyKind> {
+        let s = s.to_ascii_lowercase();
+        Some(match s.as_str() {
+            "icount" => PolicyKind::Icount,
+            "rr" | "roundrobin" => PolicyKind::RoundRobin,
+            "brcount" => PolicyKind::Brcount,
+            "l1dmisscount" | "misscount" => PolicyKind::L1dMissCount,
+            "adts" => PolicyKind::Adts,
+            "dcra" => PolicyKind::Dcra,
+            "flush-ns" => PolicyKind::FlushNonSpec,
+            "stall-ns" => PolicyKind::StallNonSpec,
+            "mflush" => PolicyKind::Mflush,
+            "flush-adapt" | "adaptive" => PolicyKind::FlushAdaptive,
+            _ => {
+                if let Some(x) = s.strip_prefix("flush-s") {
+                    PolicyKind::FlushSpec(x.parse().ok()?)
+                } else if let Some(x) = s.strip_prefix("stall-s") {
+                    PolicyKind::StallSpec(x.parse().ok()?)
+                } else {
+                    return None;
+                }
+            }
+        })
+    }
+
+    /// Spellable policy names for "did you mean" suggestions
+    /// (concrete thresholds stand in for the `-sNN` families). Shared
+    /// by the CLI and the serve layer's request validation.
+    pub const SUGGESTED_NAMES: [&'static str; 16] = [
+        "icount",
+        "rr",
+        "roundrobin",
+        "brcount",
+        "l1dmisscount",
+        "misscount",
+        "adts",
+        "dcra",
+        "stall-s30",
+        "stall-ns",
+        "flush-s30",
+        "flush-s100",
+        "flush-ns",
+        "flush-adapt",
+        "adaptive",
+        "mflush",
+    ];
+
     /// The four policies of the paper's Fig. 8 evaluation.
     pub fn fig8_set() -> [PolicyKind; 4] {
         [

@@ -1,0 +1,51 @@
+//! Entry points for the `smtsim serve` and `smtsim request`
+//! subcommands, kept here so the CLI binary stays a thin dispatcher.
+
+use std::path::PathBuf;
+
+use crate::client::http_post;
+use crate::server::{Server, ServerConfig};
+
+/// Run a server until it is asked to drain (`POST /shutdown`), then
+/// exit cleanly. `cache_dir` is created if missing; the journal lives
+/// at `DIR/results.jsonl` so repeated launches replay their cache.
+pub fn serve_main(
+    addr: &str,
+    cache_dir: Option<&str>,
+    max_queue: usize,
+    workers: usize,
+) -> Result<(), String> {
+    let cache_path = match cache_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create cache dir {dir}: {e}"))?;
+            Some(PathBuf::from(dir).join("results.jsonl"))
+        }
+        None => None,
+    };
+    let cfg = ServerConfig {
+        addr: addr.to_string(),
+        cache_path,
+        max_queue,
+        workers,
+        ..ServerConfig::default()
+    };
+    let handle = Server::launch(cfg)?;
+    // The smoke script greps this line for the bound port, so it must
+    // flush before the server blocks (println's LineWriter does).
+    println!("smtsim-serve listening on {}", handle.bound_addr());
+    handle.wait_for_drain();
+    println!("smtsim-serve drained cleanly");
+    Ok(())
+}
+
+/// `POST /run` a request body and print the response body verbatim —
+/// the client half of the smoke gate's byte-comparison.
+pub fn request_main(addr: &str, body: &str, timeout_ms: u64) -> Result<(), String> {
+    let resp = http_post(addr, "/run", body, timeout_ms)?;
+    print!("{}", resp.body);
+    if resp.status == 200 {
+        Ok(())
+    } else {
+        Err(format!("server answered {}", resp.status))
+    }
+}

@@ -1,0 +1,80 @@
+//! Tests-only fault injection for the serving layer, mirroring the
+//! memory-system `FaultPlan` idiom: the plan is plain data, `Default`
+//! injects nothing, and production code paths consult it at a handful
+//! of well-named seams. Requests are identified by their **ordinal**
+//! (1-based accept order), so a test can aim a fault at exactly one
+//! request in a scripted sequence.
+
+/// What to break, and for which request. `Default` breaks nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeFaultPlan {
+    /// Truncate the response to this request ordinal halfway through
+    /// the write, then drop the connection (mid-response crash).
+    pub drop_response_for: Option<u64>,
+    /// After simulating this ordinal, append only the first half of
+    /// its cache line to the cache file and skip the in-memory insert
+    /// — the classic torn write a kill -9 leaves behind.
+    pub torn_cache_write_for: Option<u64>,
+    /// Synthesize `SimError::JobPanicked` for this ordinal's job
+    /// instead of simulating, for its first `poison_attempts` tries.
+    pub poison_job_for: Option<u64>,
+    /// How many attempts of the poisoned job fail before it heals.
+    pub poison_attempts: u32,
+    /// Sleep `stall_ms` before responding to this ordinal (drives the
+    /// client-timeout and queue-overflow tests).
+    pub stall_response_for: Option<u64>,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+}
+
+impl ServeFaultPlan {
+    /// True when `ordinal`'s response should be cut mid-write.
+    pub fn wants_response_drop(&self, ordinal: u64) -> bool {
+        self.drop_response_for == Some(ordinal)
+    }
+
+    /// True when `ordinal`'s cache line should be torn.
+    pub fn wants_torn_cache_write(&self, ordinal: u64) -> bool {
+        self.torn_cache_write_for == Some(ordinal)
+    }
+
+    /// True when `ordinal`'s job attempt `attempt` (0-based) should
+    /// fail as a synthetic panic.
+    pub fn wants_poisoned_job(&self, ordinal: u64, attempt: u32) -> bool {
+        self.poison_job_for == Some(ordinal) && attempt < self.poison_attempts
+    }
+
+    /// Stall duration for `ordinal`, if any.
+    pub fn wants_response_stall(&self, ordinal: u64) -> Option<u64> {
+        (self.stall_response_for == Some(ordinal)).then_some(self.stall_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let p = ServeFaultPlan::default();
+        for ordinal in 0..8 {
+            assert!(!p.wants_response_drop(ordinal));
+            assert!(!p.wants_torn_cache_write(ordinal));
+            assert!(!p.wants_poisoned_job(ordinal, 0));
+            assert_eq!(p.wants_response_stall(ordinal), None);
+        }
+    }
+
+    #[test]
+    fn poison_heals_after_configured_attempts() {
+        let p = ServeFaultPlan {
+            poison_job_for: Some(3),
+            poison_attempts: 2,
+            ..ServeFaultPlan::default()
+        };
+        assert!(p.wants_poisoned_job(3, 0));
+        assert!(p.wants_poisoned_job(3, 1));
+        assert!(!p.wants_poisoned_job(3, 2), "third attempt succeeds");
+        assert!(!p.wants_poisoned_job(4, 0), "only the targeted ordinal");
+    }
+}

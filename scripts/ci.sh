@@ -60,6 +60,15 @@ echo "== fidelity equivalence (detailed == pre-refactor bytes) =="
 # in the default fidelity silently invalidates every golden figure.
 cargo test -q --offline -p smtsim-core --test fidelity
 
+echo "== serve (fault tolerance, cache replay, kill -9 restart) =="
+# Gate 7: the serving layer's robustness suite (DESIGN.md §15). Also
+# part of the workspace test gate; named here because the cross-process
+# smoke — kill -9 a real server, restart on the same journal, demand a
+# byte-identical replayed answer — only exists as a script.
+cargo test -q --offline -p smtsim-serve --test robustness
+cargo test -q --offline -p smtsim-serve --test corruption
+scripts/serve_smoke.sh
+
 echo "== bench baseline delta (informational) =="
 # Not a gate: host time is machine-dependent. Prints the drift of the
 # reduced-fidelity configurations against BENCH_baseline.json so a
@@ -74,6 +83,9 @@ if [ -f BENCH_baseline.json ]; then
 else
     echo "BENCH_baseline.json missing; run scripts/bench_baseline.sh" >&2
 fi
+# Cold-vs-cache-hit host time for the serving layer; the recorded
+# snapshot lives in BENCH_serve.json (regenerate: bench_serve > it).
+target/release/bench_serve --cycles 150000
 
 echo "== rustdoc (-D warnings) =="
 # Gate 6: the API reference must build warning-free (missing docs on

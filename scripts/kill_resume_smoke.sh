@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 
 BIN=target/release/smtsim
 if [[ ! -x "$BIN" ]]; then
-    cargo build --release --offline -q -p smtsim-core --bin smtsim
+    cargo build --release --offline -q -p mflush --bin smtsim
 fi
 
 WORKLOAD=4W1

@@ -8,16 +8,22 @@
 //! smtsim run --workload 4W3 --trace-events trace.json --trace-format chrome
 //! smtsim sweep --workload 8W3 --cycles 100000 --csv
 //! smtsim sweep --workload 8W3 --cycles 100000 --json --journal sweep.jsonl
+//! smtsim serve --addr 127.0.0.1:8080 --cache /tmp/smtsim-cache
+//! smtsim request --addr 127.0.0.1:8080 --body '{"workload":"2W2","policy":"mflush"}'
 //! smtsim calibrate --cycles 60000 --json
 //! smtsim workloads
 //! smtsim policies
 //! ```
 //!
-//! Exit codes: `0` success, `1` a simulation failed (invalid
-//! configuration caught at build time, watchdog-detected livelock, or
-//! a panicked sweep job), `2` usage errors — including unknown
-//! workload/benchmark/policy names, which come with a "did you mean"
-//! suggestion.
+//! Exit codes: `0` success, `1` a simulation or request failed
+//! (invalid configuration caught at build time, watchdog-detected
+//! livelock, a panicked sweep job, or a non-200 server answer), `2`
+//! usage errors — including unknown workload/benchmark/policy names,
+//! which come with a "did you mean" suggestion.
+//!
+//! This binary lives in the root `mflush` package (not a simulator
+//! crate) because `serve`/`request` pull in `smtsim-serve`, and lint
+//! rule D13 keeps `std::net` out of the simulator crates.
 
 use smtsim_core::calibration::{calibrate, calibration_json, calibration_table};
 use smtsim_core::json::{write_escaped, JsonObject};
@@ -37,6 +43,8 @@ fn usage() -> ! {
          [--trace-events FILE] [--metrics-interval N] [--trace-format jsonl|chrome]\n  \
          smtsim run --benchmarks a,b,c,d [--policy <p>] [--cycles N] [--json]\n  \
          smtsim sweep --workload <xWy> [--cycles N] [--fidelity ...] [--journal FILE] [--csv | --json]\n  \
+         smtsim serve [--addr HOST:PORT] [--cache DIR] [--max-queue N] [--workers N]\n  \
+         smtsim request --body JSON [--addr HOST:PORT] [--timeout MS]\n  \
          smtsim calibrate [--cycles N] [--json]\n  \
          smtsim workloads | policies\n\n\
          policies: icount, rr, brcount, l1dmisscount, adts, dcra,\n           \
@@ -49,7 +57,9 @@ fn usage() -> ! {
 // "did you mean" support for unknown names
 // ----------------------------------------------------------------
 // The edit-distance machinery lives in `smtsim_core::suggest` (shared
-// with `SimConfig::validate`'s unknown-benchmark hints).
+// with `SimConfig::validate`'s unknown-benchmark hints); the policy
+// name table and parser live on `PolicyKind` (shared with the serve
+// layer's request validation).
 
 /// Report an unknown name with a typo suggestion and exit 2.
 fn unknown_name(kind: &str, input: &str, candidates: &[&str], hint: &str) -> ! {
@@ -59,27 +69,6 @@ fn unknown_name(kind: &str, input: &str, candidates: &[&str], hint: &str) -> ! {
     }
     std::process::exit(2);
 }
-
-/// Spellable policy names for suggestions (concrete thresholds stand in
-/// for the `-sNN` families).
-const POLICY_NAMES: [&str; 16] = [
-    "icount",
-    "rr",
-    "roundrobin",
-    "brcount",
-    "l1dmisscount",
-    "misscount",
-    "adts",
-    "dcra",
-    "stall-s30",
-    "stall-ns",
-    "flush-s30",
-    "flush-s100",
-    "flush-ns",
-    "flush-adapt",
-    "adaptive",
-    "mflush",
-];
 
 fn workload_names() -> Vec<&'static str> {
     ALL_WORKLOADS
@@ -91,31 +80,6 @@ fn workload_names() -> Vec<&'static str> {
 
 fn benchmark_names() -> Vec<&'static str> {
     spec::ALL_BENCHMARKS.iter().map(|b| b.name).collect()
-}
-
-fn parse_policy(s: &str) -> Option<PolicyKind> {
-    let s = s.to_ascii_lowercase();
-    Some(match s.as_str() {
-        "icount" => PolicyKind::Icount,
-        "rr" | "roundrobin" => PolicyKind::RoundRobin,
-        "brcount" => PolicyKind::Brcount,
-        "l1dmisscount" | "misscount" => PolicyKind::L1dMissCount,
-        "adts" => PolicyKind::Adts,
-        "dcra" => PolicyKind::Dcra,
-        "flush-ns" => PolicyKind::FlushNonSpec,
-        "stall-ns" => PolicyKind::StallNonSpec,
-        "mflush" => PolicyKind::Mflush,
-        "flush-adapt" | "adaptive" => PolicyKind::FlushAdaptive,
-        _ => {
-            if let Some(x) = s.strip_prefix("flush-s") {
-                PolicyKind::FlushSpec(x.parse().ok()?)
-            } else if let Some(x) = s.strip_prefix("stall-s") {
-                PolicyKind::StallSpec(x.parse().ok()?)
-            } else {
-                return None;
-            }
-        }
-    })
 }
 
 struct Args {
@@ -212,8 +176,13 @@ fn build_config(args: &Args, policy: PolicyKind) -> SimConfig {
 fn parse_policy_arg(args: &Args) -> PolicyKind {
     args.get("policy")
         .map(|p| {
-            parse_policy(p).unwrap_or_else(|| {
-                unknown_name("policy", p, &POLICY_NAMES, "try `smtsim policies`");
+            PolicyKind::parse_name(p).unwrap_or_else(|| {
+                unknown_name(
+                    "policy",
+                    p,
+                    &PolicyKind::SUGGESTED_NAMES,
+                    "try `smtsim policies`",
+                );
             })
         })
         .unwrap_or(PolicyKind::Mflush)
@@ -375,6 +344,29 @@ fn cmd_sweep(args: &Args) {
     }
 }
 
+fn cmd_serve(args: &Args) {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let max_queue = args.get_u64("max-queue", 16) as usize;
+    let workers = args.get_u64("workers", 2) as usize;
+    if let Err(e) = smtsim_serve::cli::serve_main(addr, args.get("cache"), max_queue, workers) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_request(args: &Args) {
+    let Some(body) = args.get("body") else {
+        eprintln!("need --body '{{\"workload\":...}}'");
+        usage();
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    let timeout_ms = args.get_u64("timeout", 30_000);
+    if let Err(e) = smtsim_serve::cli::request_main(addr, body, timeout_ms) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn cmd_calibrate(args: &Args) {
     let cycles = args.get_u64("cycles", 60_000);
     let rows = calibrate(cycles, 0);
@@ -424,6 +416,8 @@ fn main() {
     match cmd.as_str() {
         "run" => cmd_run(&rest),
         "sweep" => cmd_sweep(&rest),
+        "serve" => cmd_serve(&rest),
+        "request" => cmd_request(&rest),
         "calibrate" => cmd_calibrate(&rest),
         "workloads" => cmd_workloads(),
         "policies" => cmd_policies(),
@@ -437,9 +431,18 @@ mod tests {
 
     #[test]
     fn suggestions_catch_close_typos() {
-        assert_eq!(did_you_mean("mflsh", &POLICY_NAMES), Some("mflush"));
-        assert_eq!(did_you_mean("icont", &POLICY_NAMES), Some("icount"));
-        assert_eq!(did_you_mean("FLUSH-NS", &POLICY_NAMES), Some("flush-ns"));
+        assert_eq!(
+            did_you_mean("mflsh", &PolicyKind::SUGGESTED_NAMES),
+            Some("mflush")
+        );
+        assert_eq!(
+            did_you_mean("icont", &PolicyKind::SUGGESTED_NAMES),
+            Some("icount")
+        );
+        assert_eq!(
+            did_you_mean("FLUSH-NS", &PolicyKind::SUGGESTED_NAMES),
+            Some("flush-ns")
+        );
         assert_eq!(did_you_mean("8W2", &workload_names()), Some("8W2"));
         assert!(did_you_mean("8w9", &workload_names()).is_some());
         assert_eq!(did_you_mean("mfc", &benchmark_names()), Some("mcf"));
@@ -447,18 +450,18 @@ mod tests {
 
     #[test]
     fn distant_garbage_gets_no_suggestion() {
-        assert_eq!(did_you_mean("zzzzzzzzzz", &POLICY_NAMES), None);
+        assert_eq!(did_you_mean("zzzzzzzzzz", &PolicyKind::SUGGESTED_NAMES), None);
         assert_eq!(did_you_mean("qqqq", &benchmark_names()), None);
     }
 
     #[test]
     fn policy_parser_accepts_documented_spellings() {
-        for name in POLICY_NAMES {
-            assert!(parse_policy(name).is_some(), "{name} should parse");
+        for name in PolicyKind::SUGGESTED_NAMES {
+            assert!(PolicyKind::parse_name(name).is_some(), "{name} should parse");
         }
-        assert!(parse_policy("flush-s85").is_some());
-        assert!(parse_policy("stall-s120").is_some());
-        assert!(parse_policy("flush-sXX").is_none());
-        assert!(parse_policy("no-such-policy").is_none());
+        assert!(PolicyKind::parse_name("flush-s85").is_some());
+        assert!(PolicyKind::parse_name("stall-s120").is_some());
+        assert!(PolicyKind::parse_name("flush-sXX").is_none());
+        assert!(PolicyKind::parse_name("no-such-policy").is_none());
     }
 }
