@@ -136,7 +136,7 @@ fn seeded_d10_mutation_is_caught_with_its_chain() {
 
     // Seed the defect: a fresh allocation inside `try_issue_one`,
     // three frames below `DetailedCore::tick` in the cycle loop.
-    let anchor = "let (class, addr, queue, addr_pc) = {";
+    let anchor = "let (class, addr, queue, addr_pc, wrong_path) = {";
     let detailed = files
         .iter_mut()
         .find(|(rel, _)| rel == "crates/cpu/src/detailed.rs")
@@ -147,7 +147,7 @@ fn seeded_d10_mutation_is_caught_with_its_chain() {
     );
     detailed.1 = detailed.1.replacen(
         anchor,
-        "let _mutant: Vec<u64> = Vec::new();\n        let (class, addr, queue, addr_pc) = {",
+        "let _mutant: Vec<u64> = Vec::new();\n        let (class, addr, queue, addr_pc, wrong_path) = {",
         1,
     );
 

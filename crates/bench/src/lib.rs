@@ -24,6 +24,16 @@
 //! The defaults use a scaled-down fixed interval (see
 //! `smtsim_core::config::DEFAULT_CYCLES`); pass larger budgets for
 //! tighter numbers.
+//!
+//! Beyond the paper artefacts, the crate ships the host-performance
+//! tooling documented in PERFORMANCE.md: `bench_profile` (the
+//! [`profile::PhaseProfile`] host-time phase profiler with
+//! `--baseline` drift reporting against `BENCH_baseline.json`),
+//! `bench_serve` (cold vs cache-hit latency of the serving layer,
+//! recorded in `BENCH_serve.json`), and `bench_cycleloop` (the stall
+//! skip-ahead throughput and byte-identity record behind
+//! `BENCH_cycleloop.json`, deterministically gated by
+//! `bench_cycleloop --check` in CI).
 
 pub mod figures;
 pub mod profile;

@@ -68,6 +68,12 @@ pub struct SimConfig {
     /// Forward-progress watchdog interval in cycles; `0` disables the
     /// watchdog entirely.
     pub watchdog_cycles: u64,
+    /// Stall skip-ahead: when every component reports a quiescent
+    /// window (DESIGN.md §16), jump the cycle counter to the next
+    /// event instead of ticking through provable no-ops. Results are
+    /// byte-identical either way (pinned by the `skip_ahead` property
+    /// tests); the switch exists for A/B verification and debugging.
+    pub skip_ahead: bool,
 }
 
 impl SimConfig {
@@ -87,6 +93,7 @@ impl SimConfig {
             seed: 0x5eed,
             warmup: true,
             watchdog_cycles: DEFAULT_WATCHDOG,
+            skip_ahead: true,
         }
     }
 
@@ -103,6 +110,7 @@ impl SimConfig {
             seed: 0x5eed,
             warmup: true,
             watchdog_cycles: DEFAULT_WATCHDOG,
+            skip_ahead: true,
         }
     }
 
@@ -121,6 +129,12 @@ impl SimConfig {
     /// Builder-style override of the watchdog interval (0 disables).
     pub fn with_watchdog(mut self, watchdog_cycles: u64) -> Self {
         self.watchdog_cycles = watchdog_cycles;
+        self
+    }
+
+    /// Builder-style override of stall skip-ahead (on by default).
+    pub fn with_skip_ahead(mut self, skip_ahead: bool) -> Self {
+        self.skip_ahead = skip_ahead;
         self
     }
 

@@ -659,6 +659,7 @@ impl ToJson for SimConfig {
             .field("seed", &self.seed)
             .field("warmup", &self.warmup)
             .field("watchdog_cycles", &self.watchdog_cycles)
+            .field("skip_ahead", &self.skip_ahead)
             .field("cores", &self.cores())
             // validate() pins core.contexts == topology.contexts_per_core;
             // emitting the core-side field keeps `core` in the report.

@@ -24,6 +24,7 @@ use smtsim_obs::MetricSample;
 use smtsim_cpu::thread::ThreadProgram;
 use smtsim_cpu::SmtCore;
 use smtsim_mem::MemoryModel;
+
 use smtsim_policy::build_policy;
 use smtsim_cpu::CoreFidelity;
 use smtsim_trace::{spec, FastTraceGenerator, TraceGenerator};
@@ -46,6 +47,9 @@ pub struct Simulator {
     /// Interval metrics sampler (`None` unless enabled — sampling off
     /// must not perturb anything, DESIGN.md §12).
     metrics: Option<MetricsRecorder>,
+    /// Cycles elided by stall skip-ahead so far (host-work saved;
+    /// simulated results are identical with or without them).
+    skipped_cycles: u64,
 }
 
 impl Simulator {
@@ -94,6 +98,7 @@ impl Simulator {
             last_completions: mem.total_completions(),
             last_progress_cycle: 0,
             metrics: None,
+            skipped_cycles: 0,
             cores,
             mem,
             now: 0,
@@ -109,7 +114,8 @@ impl Simulator {
             }
         }
         let watchdog = self.cfg.watchdog_cycles;
-        for _ in 0..cycles {
+        let end = self.now.saturating_add(cycles);
+        while self.now < end {
             self.mem.tick(self.now);
             for c in &mut self.cores {
                 c.tick(self.now, &mut self.mem);
@@ -124,8 +130,91 @@ impl Simulator {
             if watchdog > 0 && self.now - self.last_progress_cycle >= watchdog {
                 return Err(self.no_forward_progress());
             }
+            if self.cfg.skip_ahead {
+                self.try_skip_ahead(end, watchdog);
+            }
         }
         Ok(())
+    }
+
+    /// Stall skip-ahead (DESIGN.md §16): when every component reports
+    /// its next possible observable event strictly after `self.now`,
+    /// the intervening ticks are provable no-ops — jump straight to the
+    /// earliest event. The jump target is additionally clamped so that
+    /// every cycle the *driver* observes still happens at its exact
+    /// time: the end of this `step` call, the watchdog's firing cycle
+    /// (`last_progress + watchdog - 1` must still be ticked so the
+    /// abort carries an identical cycle number), and the cycle before
+    /// the next metrics sample (samples read state *after* a tick of
+    /// `due - 1`).
+    fn try_skip_ahead(&mut self, end: u64, watchdog: u64) {
+        if let Some(target) = self.skip_target(end, watchdog) {
+            self.apply_skip(target);
+        }
+    }
+
+    /// The skip-ahead target from `self.now`, or `None` when some
+    /// component could do observable work before then. Pure — shared
+    /// by [`try_skip_ahead`](Self::try_skip_ahead) and the test hook
+    /// so the tested horizon is the shipped one.
+    fn skip_target(&self, end: u64, watchdog: u64) -> Option<u64> {
+        let from = self.now;
+        // Cores first: on busy cycles (the common case) the first core
+        // answers `from` after a couple of probes and the attempt costs
+        // almost nothing; the memory-system scan only runs once every
+        // core is quiescent.
+        let mut target = u64::MAX;
+        for c in &self.cores {
+            target = target.min(c.next_event_cycle(from));
+            if target <= from {
+                return None;
+            }
+        }
+        target = target.min(self.mem.next_event_cycle(from));
+        if target <= from {
+            return None;
+        }
+        target = target.min(end);
+        if watchdog > 0 {
+            // Fire cycle is last_progress + watchdog; its tick (a
+            // no-op) must run so the abort snapshot is identical.
+            target = target.min(self.last_progress_cycle + watchdog - 1);
+        }
+        if let Some(rec) = &self.metrics {
+            let interval = rec.interval();
+            let next_due = (from / interval + 1) * interval;
+            target = target.min(next_due - 1);
+        }
+        (target > from).then_some(target)
+    }
+
+    /// Jump to `target`, compensating every component's time-based
+    /// accounting for the cycles that will never be ticked.
+    fn apply_skip(&mut self, target: u64) {
+        let from = self.now;
+        let skipped = target - from;
+        self.mem.account_skip(skipped);
+        for c in &mut self.cores {
+            c.notify_skip(from, skipped);
+        }
+        self.skipped_cycles += skipped;
+        self.now = target;
+    }
+
+    /// Test-only: the skip target the engine would pick right now for a
+    /// run ending at `end` (clamps included), without applying it.
+    #[doc(hidden)]
+    pub fn skip_target_for_test(&self, end: u64) -> Option<u64> {
+        self.skip_target(end, self.cfg.watchdog_cycles)
+    }
+
+    /// Test-only: unconditionally jump to `target` with the real skip
+    /// accounting. Lets the mutation suite plant an off-by-one past the
+    /// computed horizon and prove the byte-identity gate catches it.
+    #[doc(hidden)]
+    pub fn force_skip_for_test(&mut self, target: u64) {
+        assert!(target > self.now, "skip target must be in the future");
+        self.apply_skip(target);
     }
 
     /// Update the progress trackers after a cycle. Progress is "any
@@ -220,6 +309,13 @@ impl Simulator {
     /// Cycle counter.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Cycles elided by stall skip-ahead so far. Purely a host-side
+    /// throughput diagnostic: simulated results are byte-identical
+    /// whether these cycles were skipped or ticked.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Start event tracing on every component (the memory system and

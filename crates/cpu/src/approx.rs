@@ -221,6 +221,19 @@ impl IpcApproxCore {
         self.fetch(now, mem, acted);
     }
 
+    /// This backend opts out of stall skip-ahead: it returns `from`
+    /// ("could act every cycle"), so the simulator never skips. It is
+    /// already an order of magnitude cheaper than the detailed core,
+    /// and the commit-window model has no cheap quiescence proof (the
+    /// window head may unblock any cycle a completion lands).
+    pub fn next_event_cycle(&self, from: u64) -> u64 {
+        from
+    }
+
+    /// No-op: with [`Self::next_event_cycle`] pinned to `from`, cycles
+    /// are never skipped at this fidelity.
+    pub fn notify_skip(&mut self, _from: u64, _cycles: u64) {}
+
     fn process_mem(&mut self, now: u64, mem: &mut MemoryModel) {
         for ev in mem.drain_events(self.core_id) {
             match ev {

@@ -151,6 +151,21 @@ impl SmtCore {
         dispatch!(&mut self.backend, tick(now, mem))
     }
 
+    /// Earliest cycle ≥ `from` at which a tick could do observable
+    /// work, assuming no memory deliveries in between — the core half
+    /// of the stall skip-ahead horizon (DESIGN.md §16). The approx
+    /// backend pins this to `from`, opting out of skip.
+    pub fn next_event_cycle(&self, from: u64) -> u64 {
+        dispatch!(&self.backend, next_event_cycle(from))
+    }
+
+    /// Tell the core the simulator skipped `cycles` cycles starting at
+    /// `from` (no ticks ran for them), so per-call policy state can
+    /// compensate.
+    pub fn notify_skip(&mut self, from: u64, cycles: u64) {
+        dispatch!(&mut self.backend, notify_skip(from, cycles))
+    }
+
     /// Snapshot the core's statistics.
     pub fn stats(&self) -> CoreStats {
         dispatch!(&self.backend, stats())

@@ -11,13 +11,14 @@
 use crate::config::CoreConfig;
 use crate::bpred::PerceptronPredictor;
 use crate::btb::Btb;
-use crate::regfile::RegFile;
+use crate::regfile::{PhysReg, RegFile};
 use crate::rob::{InstrState, QueueKind, RobEntry};
 use crate::stats::{CoreStats, ThreadProbe, ThreadStats};
 use crate::thread::{FetchGate, FrontendEntry, ThreadCtx, ThreadProgram, WrongPathMode};
 use smtsim_energy::{PipelineStage, SquashCause};
 use smtsim_mem::addr::{bank_of, line_base};
 use smtsim_mem::{AccessKind, AccessResult, MemEvent, MemoryModel, ReqId};
+
 use smtsim_obs::{EventRing, TraceEvent};
 use smtsim_policy::{FetchPolicy, PolicyAction, ThreadSnapshot};
 use smtsim_trace::{DynInstr, InstrClass, UncondKind};
@@ -31,6 +32,32 @@ enum MemTarget {
     Load { tid: usize, token: u64 },
     IFetch { tid: usize },
     Store,
+}
+
+/// Compact record of one issue-queue resident, used by the wakeup
+/// scheduler: an entry waiting on operands is *parked* on one of its
+/// not-ready source registers (`reg_waiters`), and moves to the
+/// per-queue ready list (`iq_ready`) when its last source is marked
+/// ready. The issue stage and the skip-ahead horizon therefore scan
+/// only *ready* entries — O(issuable) instead of O(queue residents)
+/// per cycle.
+///
+/// Squashes do not edit these lists: a squashed entry goes stale in
+/// place and is dropped lazily wherever it next surfaces, validated
+/// against the ROB (`token` still resident and `InQueue`). Tokens are
+/// never reused, so a stale record can never be mistaken for a live
+/// one. For *live* entries the scheme is exact because source
+/// readiness is monotone: a source register can be rolled back or
+/// released only after every InQueue reader of it has itself been
+/// squashed or committed.
+#[derive(Debug, Clone, Copy)]
+struct IqEntry {
+    token: u64,
+    tid: u32,
+    /// Queue index (`QueueKind::index`), so wakeups route to the right
+    /// ready list without a ROB lookup.
+    qi: u8,
+    srcs: [Option<PhysReg>; 2],
 }
 
 /// One SMT core.
@@ -50,6 +77,11 @@ pub struct DetailedCore {
     req_map: Vec<(ReqId, MemTarget)>,
     /// Committed stores awaiting their L1D access.
     store_queue: VecDeque<u64>,
+    /// Per-thread in-flight ROB stores as `(token, word)` (word =
+    /// address & !7), kept in token order: pushed at dispatch, popped
+    /// from the front at commit, truncated from the back on squash.
+    /// Store-to-load forwarding scans this instead of the ROB.
+    store_fwd: Vec<VecDeque<(u64, u64)>>,
     /// Scheduled execution completions: (done_at, tid, token).
     exec_heap: BinaryHeap<Reverse<(u64, usize, u64)>>,
     /// Per-thread wrong-path prefetch buffers.
@@ -70,11 +102,29 @@ pub struct DetailedCore {
     iq_high: u32,
     // Reusable scratch.
     snaps: Vec<ThreadSnapshot>,
+    /// True when `snaps` still reflects the core state (set by
+    /// `run_policy` when the policy executed no actions, so `fetch`
+    /// can reuse the snapshots it just built instead of rebuilding).
+    snaps_fresh: bool,
     prio: Vec<usize>,
     actions: Vec<PolicyAction>,
     /// Issue-stage candidate lists, one per queue kind (D10: the issue
     /// stage runs every cycle and must not allocate).
     iq_cands: [Vec<(u64, usize)>; 3],
+    /// Ready issue-queue residents, one list per queue kind (see
+    /// [`IqEntry`]): every live entry whose sources are all ready.
+    /// Pre-sized to the queue capacities at construction so the cycle
+    /// loop never grows them (D10); may also hold stale (squashed)
+    /// records, dropped lazily by the issue stage.
+    iq_ready: [Vec<IqEntry>; 3],
+    /// Wakeup lists: entries parked on a not-ready source register,
+    /// indexed by physical register. Drained by [`Self::wake_reg`]
+    /// when the register is marked ready.
+    reg_waiters: Vec<Vec<IqEntry>>,
+    /// Reusable drain buffer for [`Self::wake_reg`] (D10: capacity
+    /// rotates between this and the waiter slots, so steady-state
+    /// wakeups never allocate).
+    wake_scratch: Vec<IqEntry>,
     /// Squash-path scratch: drained front-end entries, removed ROB
     /// entries, and the two replay lists. Squashes are frequent enough
     /// (every mispredict, every FLUSH) to live inside the D10 contract.
@@ -125,6 +175,7 @@ impl DetailedCore {
             iq_per_thread: vec![0; threads.len()],
             req_map: Vec::new(),
             store_queue: VecDeque::new(),
+            store_fwd: (0..threads.len()).map(|_| VecDeque::new()).collect(),
             exec_heap: BinaryHeap::new(),
             wp_buffers: (0..threads.len()).map(|_| VecDeque::new()).collect(),
             next_token: 1,
@@ -133,9 +184,17 @@ impl DetailedCore {
             rob_high: vec![0; threads.len()],
             iq_high: 0,
             snaps: Vec::new(),
+            snaps_fresh: false,
             prio: Vec::new(),
             actions: Vec::new(),
             iq_cands: [Vec::new(), Vec::new(), Vec::new()],
+            iq_ready: [
+                Vec::with_capacity(cfg.int_queue as usize),
+                Vec::with_capacity(cfg.fp_queue as usize),
+                Vec::with_capacity(cfg.ls_queue as usize),
+            ],
+            reg_waiters: (0..cfg.phys_regs).map(|_| Vec::new()).collect(),
+            wake_scratch: Vec::new(),
             squash_fes: Vec::new(),
             squash_rob: Vec::new(),
             replay_buf: Vec::new(),
@@ -226,6 +285,158 @@ impl DetailedCore {
         self.fetch(now, mem);
     }
 
+    /// Earliest cycle ≥ `from` at which a tick could do observable work,
+    /// assuming the memory system delivers nothing in between (the
+    /// caller intersects this with [`MemoryModel::next_event_cycle`]).
+    /// The core half of the stall skip-ahead horizon (DESIGN.md §16).
+    ///
+    /// The pipeline acts every cycle unless *every* stage is provably
+    /// idle:
+    ///
+    /// * **drain_stores** retries each cycle while the committed-store
+    ///   queue is non-empty;
+    /// * **commit** acts whenever a ROB head is `Done`;
+    /// * **exec_complete** acts when the earliest scheduled completion
+    ///   is due;
+    /// * **issue** re-arbitrates every cycle a ready-list entry is
+    ///   live (including MSHR-full retry loops, which touch the cache
+    ///   and count `mshr_retries`); parked entries only wake through
+    ///   completions the other horizon terms already cover;
+    /// * **dispatch** acts when the *front* front-end entry has cleared
+    ///   the front-end pipe and the ROB, its issue queue, and the
+    ///   rename free list all have room. A front entry that is blocked
+    ///   on a full resource only charges a stall counter — replayed
+    ///   exactly by [`Self::notify_skip`] — and wakes via an event the
+    ///   other horizon terms already cover (commit frees ROB slots and
+    ///   rename registers, issue frees queue slots);
+    /// * **fetch** touches the I-cache whenever some thread is un-gated,
+    ///   not waiting on an I-fetch miss, past its redirect timer, *and*
+    ///   has fetch-queue room (a full fetch queue blocks `fetch_thread`
+    ///   before any access).
+    ///
+    /// What remains are pure waits with known wake-ups: scheduled
+    /// completions (`exec_heap`), front-end pipe maturation
+    /// (`fetched_at + frontend_latency`), fetch redirect timers, and
+    /// the policy's own clock ([`FetchPolicy::next_wake`]).
+    pub fn next_event_cycle(&self, from: u64) -> u64 {
+        if !self.store_queue.is_empty() {
+            return from;
+        }
+        if let Some(&Reverse((done_at, _, _))) = self.exec_heap.peek() {
+            if done_at <= from {
+                return from;
+            }
+        }
+        let fetch_cap = self.cfg.fetch_queue as usize;
+        for t in &self.threads {
+            if let Some(head) = t.rob.head() {
+                if head.state == InstrState::Done {
+                    return from;
+                }
+            }
+            if t.gate == FetchGate::Open
+                && t.icache_wait.is_none()
+                && t.frontend.len() < fetch_cap
+                && t.redirect_at <= from
+            {
+                return from;
+            }
+            if let Some(fe) = t.frontend.front() {
+                if fe.fetched_at + self.cfg.frontend_latency <= from
+                    && t.rob.has_room()
+                    && self.iq_has_room(QueueKind::of(fe.instr.class))
+                    && (fe.instr.dst.is_none() || self.regs.free_count() > 0)
+                {
+                    return from;
+                }
+            }
+        }
+        // The wakeup scan last, so busy cores bail out on the cheap
+        // checks above. The scheduler keeps the ready lists down to
+        // issuable entries, so a stalled core scans almost nothing;
+        // stale (squashed) records must be ignored, not trusted.
+        for list in &self.iq_ready {
+            for e in list {
+                let tid = e.tid as usize;
+                let live = self.threads[tid]
+                    .rob
+                    .index_of(e.token)
+                    .is_some_and(|idx| {
+                        self.threads[tid].rob.entry_at(idx).state == InstrState::InQueue
+                    });
+                if live {
+                    return from;
+                }
+            }
+        }
+        // Quiescent at `from`: gather the scheduled wake-ups.
+        let mut at = self.policy.next_wake(from);
+        if let Some(&Reverse((done_at, _, _))) = self.exec_heap.peek() {
+            at = at.min(done_at);
+        }
+        for t in &self.threads {
+            if let Some(fe) = t.frontend.front() {
+                let matures = fe.fetched_at + self.cfg.frontend_latency;
+                if matures > from {
+                    at = at.min(matures);
+                }
+            }
+            if t.gate == FetchGate::Open
+                && t.icache_wait.is_none()
+                && t.frontend.len() < fetch_cap
+            {
+                // redirect_at > from here, else the loop above returned.
+                at = at.min(t.redirect_at);
+            }
+        }
+        at
+    }
+
+    /// Does `queue` have a free slot for one more dispatch?
+    fn iq_has_room(&self, queue: QueueKind) -> bool {
+        let cap =
+            [self.cfg.int_queue, self.cfg.fp_queue, self.cfg.ls_queue][queue.index()];
+        self.iq_used[queue.index()] < cap
+    }
+
+    /// The simulator skipped `cycles` cycles starting at `from` (no
+    /// tick ran for them). Event-driven state needs no repair, but the
+    /// cycle-by-cycle loop would have charged two kinds of per-cycle
+    /// bookkeeping that must be replayed for byte-identity:
+    ///
+    /// * dispatch stall counters: a thread whose matured front entry is
+    ///   blocked on a full ROB / issue queue / rename file charges one
+    ///   stall per cycle, with the *first* full resource (in dispatch's
+    ///   check order) taking the blame. The pipeline is frozen for the
+    ///   whole window, so the reason — and hence the counter — is
+    ///   constant: charge it `cycles` times.
+    /// * per-call policy state ([`FetchPolicy::on_cycles_skipped`]).
+    pub fn notify_skip(&mut self, from: u64, cycles: u64) {
+        let (mut rob_s, mut iq_s, mut reg_s) = (0u64, 0u64, 0u64);
+        for t in &self.threads {
+            let Some(fe) = t.frontend.front() else { continue };
+            if fe.fetched_at + self.cfg.frontend_latency > from {
+                continue; // still in the front-end pipe: no stall charged
+            }
+            if !t.rob.has_room() {
+                rob_s += cycles;
+            } else if !self.iq_has_room(QueueKind::of(fe.instr.class)) {
+                iq_s += cycles;
+            } else {
+                // A skippable window with a matured, unblocked-by-ROB/IQ
+                // front entry can only be pinned by rename exhaustion
+                // (next_event_cycle returned > from, so dispatch could
+                // not act).
+                debug_assert!(fe.instr.dst.is_some() && self.regs.free_count() == 0);
+                reg_s += cycles;
+            }
+        }
+        self.rob_full_stalls += rob_s;
+        self.iq_full_stalls += iq_s;
+        self.reg_full_stalls += reg_s;
+        self.policy.on_cycles_skipped(from, cycles);
+    }
+
     // ----------------------------------------------------------------
     // Memory returns
     // ----------------------------------------------------------------
@@ -259,12 +470,17 @@ impl DetailedCore {
                 MemTarget::Load { tid, token } => {
                     let mut resume = false;
                     let mut notify = false;
+                    let mut ready_reg = None;
                     if let Some(e) = self.threads[tid].rob.find_mut(token) {
                         e.state = InstrState::Done;
                         notify = e.load_tracked && !e.wrong_path;
                         if let Some((newr, _)) = e.dst {
                             self.regs.mark_ready(newr);
+                            ready_reg = Some(newr);
                         }
+                    }
+                    if let Some(newr) = ready_reg {
+                        self.wake_reg(newr);
                     }
                     let t = &mut self.threads[tid];
                     t.l1d_misses_in_flight = t.l1d_misses_in_flight.saturating_sub(1);
@@ -326,6 +542,7 @@ impl DetailedCore {
                 };
             if let Some((newr, _)) = dst {
                 self.regs.mark_ready(newr);
+                self.wake_reg(newr);
             }
             if is_cond_branch {
                 let t = &mut self.threads[tid];
@@ -390,6 +607,8 @@ impl DetailedCore {
                 }
                 if is_store {
                     self.store_queue.push_back(e.instr.mem_addr);
+                    let fwd = self.store_fwd[tid].pop_front();
+                    debug_assert_eq!(fwd, Some((e.token, e.instr.mem_addr & !7)));
                 }
                 budget -= 1;
             }
@@ -424,23 +643,34 @@ impl DetailedCore {
     // ----------------------------------------------------------------
 
     fn issue(&mut self, now: u64, mem: &mut MemoryModel) {
-        // Gather ready candidates per queue, oldest (smallest token)
-        // first across both threads.
+        // Gather candidates per queue, oldest (smallest token) first
+        // across both threads. The wakeup scheduler keeps `iq_ready`
+        // down to issuable entries, so this touches O(issuable) state —
+        // a stalled thread costs nothing here. Stale (squashed) records
+        // are dropped as they surface; live records are ready by
+        // construction (readiness is monotone, see [`IqEntry`]).
         let mut cands = std::mem::take(&mut self.iq_cands);
-        for list in cands.iter_mut() {
+        for (qi, list) in cands.iter_mut().enumerate() {
             list.clear();
-        }
-        for (tid, t) in self.threads.iter().enumerate() {
-            for e in t.rob.iter() {
-                if e.state == InstrState::InQueue {
-                    let ready = e
-                        .srcs
-                        .iter()
-                        .flatten()
-                        .all(|&p| self.regs.is_ready(p));
-                    if ready {
-                        cands[e.queue.index()].push((e.token, tid));
-                    }
+            let mut i = 0;
+            while i < self.iq_ready[qi].len() {
+                let e = self.iq_ready[qi][i];
+                let tid = e.tid as usize;
+                let live = self.threads[tid]
+                    .rob
+                    .index_of(e.token)
+                    .is_some_and(|idx| {
+                        self.threads[tid].rob.entry_at(idx).state == InstrState::InQueue
+                    });
+                if live {
+                    debug_assert!(
+                        e.srcs.iter().flatten().all(|&p| self.regs.is_ready(p)),
+                        "iq_ready entry with a not-ready source"
+                    );
+                    list.push((e.token, tid));
+                    i += 1;
+                } else {
+                    self.iq_ready[qi].swap_remove(i);
                 }
             }
         }
@@ -453,6 +683,7 @@ impl DetailedCore {
                     break;
                 }
                 if self.try_issue_one(tid, token, now, mem) {
+                    self.iq_unready(qi, token);
                     issued += 1;
                 }
             }
@@ -460,18 +691,64 @@ impl DetailedCore {
         self.iq_cands = cands;
     }
 
+    /// Remove `token` from ready list `qi` (the entry left `InQueue`
+    /// state by issuing). The lists are small, so a linear find +
+    /// swap_remove is cheap; order is irrelevant because candidates
+    /// are re-sorted every cycle.
+    fn iq_unready(&mut self, qi: usize, token: u64) {
+        let pos = self.iq_ready[qi]
+            .iter()
+            .position(|e| e.token == token)
+            // lint: allow(D3) -- the issue stage only issues candidates gathered from this very list
+            .expect("issued token present in its ready list");
+        self.iq_ready[qi].swap_remove(pos);
+    }
+
+    /// `p` was just marked ready: re-examine every entry parked on it.
+    /// An entry whose other source is still not ready re-parks there;
+    /// otherwise it joins its queue's ready list. Stale (squashed)
+    /// records move along unvalidated — the issue stage drops them.
+    fn wake_reg(&mut self, p: PhysReg) {
+        if self.reg_waiters[p as usize].is_empty() {
+            return;
+        }
+        let mut woken = std::mem::replace(
+            &mut self.reg_waiters[p as usize],
+            std::mem::take(&mut self.wake_scratch),
+        );
+        for e in woken.drain(..) {
+            self.park_or_ready(e);
+        }
+        self.wake_scratch = woken;
+    }
+
+    /// Insert `e` into the wakeup structures: parked on its first
+    /// not-ready source, or onto its queue's ready list.
+    fn park_or_ready(&mut self, e: IqEntry) {
+        for &src in e.srcs.iter().flatten() {
+            if !self.regs.is_ready(src) {
+                self.reg_waiters[src as usize].push(e);
+                return;
+            }
+        }
+        self.iq_ready[e.qi as usize].push(e);
+    }
+
     /// Issue one instruction; returns false when it must stay queued
-    /// (MSHR full).
+    /// (MSHR full). The entry is resolved by index exactly once —
+    /// issue candidates sit near the tail of a deep ROB, where the
+    /// head-first [`Rob::find_mut`] scan is at its worst — and nothing
+    /// below moves ROB entries, so the index stays valid throughout.
     fn try_issue_one(&mut self, tid: usize, token: u64, now: u64, mem: &mut MemoryModel) -> bool {
-        let (class, addr, queue, addr_pc) = {
-            let e = self.threads[tid].rob.tracked_mut(token);
-            (e.instr.class, e.instr.mem_addr, e.queue, e.instr.pc)
-        };
-        let wrong_path = self.threads[tid]
+        let idx = self.threads[tid]
             .rob
-            .find_mut(token)
-            .map(|e| e.wrong_path)
-            .unwrap_or(true);
+            .index_of(token)
+            // lint: allow(D3) -- issue candidates come from iq_lists, which mirror resident InQueue ROB entries
+            .expect("issue candidate resident in ROB");
+        let (class, addr, queue, addr_pc, wrong_path) = {
+            let e = self.threads[tid].rob.entry_at(idx);
+            (e.instr.class, e.instr.mem_addr, e.queue, e.instr.pc, e.wrong_path)
+        };
 
         match class {
             InstrClass::Load => {
@@ -481,7 +758,7 @@ impl DetailedCore {
                 // would fabricate MSHR/bank traffic at made-up
                 // addresses).
                 if wrong_path {
-                    let e = self.threads[tid].rob.tracked_mut(token);
+                    let e = self.threads[tid].rob.entry_at_mut(idx);
                     e.state = InstrState::Executing { done_at: now + 1 };
                     self.exec_heap.push(Reverse((now + 1, tid, token)));
                     self.iq_used[queue.index()] -= 1;
@@ -492,7 +769,7 @@ impl DetailedCore {
                 // the same thread to the same word supplies the data
                 // directly (no cache access).
                 if self.store_forward_hit(tid, token, addr) {
-                    let e = self.threads[tid].rob.tracked_mut(token);
+                    let e = self.threads[tid].rob.entry_at_mut(idx);
                     e.state = InstrState::Executing { done_at: now + 1 };
                     e.load_tracked = false;
                     self.exec_heap.push(Reverse((now + 1, tid, token)));
@@ -503,28 +780,24 @@ impl DetailedCore {
                 }
                 match mem.access(self.core_id, AccessKind::Load, addr, now) {
                     AccessResult::L1Hit { ready_at, .. } => {
-                        let e = self.threads[tid].rob.tracked_mut(token);
+                        let e = self.threads[tid].rob.entry_at_mut(idx);
                         e.state = InstrState::Executing { done_at: ready_at };
-                        e.load_tracked = !wrong_path;
+                        e.load_tracked = true;
                         self.exec_heap.push(Reverse((ready_at, tid, token)));
-                        if !wrong_path {
-                            self.threads[tid].loads_issued += 1;
-                            self.policy.on_load_issue(tid, token, addr_pc, now);
-                        }
+                        self.threads[tid].loads_issued += 1;
+                        self.policy.on_load_issue(tid, token, addr_pc, now);
                     }
                     AccessResult::Miss { req, .. } => {
                         let bank = bank_of(addr, mem.config().l2_banks);
-                        let e = self.threads[tid].rob.tracked_mut(token);
+                        let e = self.threads[tid].rob.entry_at_mut(idx);
                         e.state = InstrState::WaitingMem { req };
-                        e.load_tracked = !wrong_path;
+                        e.load_tracked = true;
                         debug_assert!(!self.req_map.iter().any(|(r, _)| *r == req), "duplicate req id {req} in req_map");
                         self.req_map.push((req, MemTarget::Load { tid, token }));
                         self.threads[tid].l1d_misses_in_flight += 1;
-                        if !wrong_path {
-                            self.threads[tid].loads_issued += 1;
-                            self.policy.on_load_issue(tid, token, addr_pc, now);
-                            self.policy.on_l1d_miss(tid, token, bank, now);
-                        }
+                        self.threads[tid].loads_issued += 1;
+                        self.policy.on_load_issue(tid, token, addr_pc, now);
+                        self.policy.on_l1d_miss(tid, token, bank, now);
                     }
                     AccessResult::MshrFull => {
                         self.mshr_retries += 1;
@@ -535,13 +808,13 @@ impl DetailedCore {
             InstrClass::Store => {
                 // Address generation only; memory access happens at
                 // commit via the store queue.
-                let e = self.threads[tid].rob.tracked_mut(token);
+                let e = self.threads[tid].rob.entry_at_mut(idx);
                 e.state = InstrState::Executing { done_at: now + 1 };
                 self.exec_heap.push(Reverse((now + 1, tid, token)));
             }
             _ => {
                 let done = now + class.exec_latency() as u64;
-                let e = self.threads[tid].rob.tracked_mut(token);
+                let e = self.threads[tid].rob.entry_at_mut(idx);
                 e.state = InstrState::Executing { done_at: done };
                 self.exec_heap.push(Reverse((done, tid, token)));
             }
@@ -554,14 +827,13 @@ impl DetailedCore {
 
     /// True when an older same-thread store to the same 8-byte word is
     /// still in flight (in the ROB or the committed-store queue) — the
-    /// load's data can be forwarded.
+    /// load's data can be forwarded. Scans the compact per-thread
+    /// [`Self::store_fwd`] list, not the ROB.
     fn store_forward_hit(&self, tid: usize, load_token: u64, addr: u64) -> bool {
         let word = addr & !7;
-        let in_rob = self.threads[tid].rob.iter().any(|e| {
-            e.token < load_token
-                && e.instr.class == InstrClass::Store
-                && (e.instr.mem_addr & !7) == word
-        });
+        let in_rob = self.store_fwd[tid]
+            .iter()
+            .any(|&(t, w)| t < load_token && w == word);
         in_rob || self.store_queue.iter().any(|&a| (a & !7) == word)
     }
 
@@ -627,6 +899,15 @@ impl DetailedCore {
                     mispredicted: fe.mispredicted,
                     load_tracked: false,
                 });
+                self.park_or_ready(IqEntry {
+                    token: fe.token,
+                    tid: tid as u32,
+                    qi: queue.index() as u8,
+                    srcs,
+                });
+                if fe.instr.class == InstrClass::Store {
+                    self.store_fwd[tid].push_back((fe.token, fe.instr.mem_addr & !7));
+                }
                 self.iq_used[queue.index()] += 1;
                 self.iq_per_thread[tid] += 1;
                 if let Some(ring) = &mut self.trace {
@@ -684,6 +965,9 @@ impl DetailedCore {
         self.actions.clear();
         let mut actions = std::mem::take(&mut self.actions);
         self.policy.tick(now, &self.snaps, &mut actions);
+        // Actions mutate gates / ROBs; the snapshots stay valid only
+        // when there are none (the common cycle — fetch reuses them).
+        self.snaps_fresh = actions.is_empty();
         for a in actions.drain(..) {
             match a {
                 PolicyAction::Flush { tid, token } => self.execute_flush(tid, token, now),
@@ -787,6 +1071,12 @@ impl DetailedCore {
         let mut removed = std::mem::take(&mut self.squash_rob);
         removed.clear();
         self.threads[tid].rob.squash_younger_into(keep_token, &mut removed);
+        while self.store_fwd[tid]
+            .back()
+            .is_some_and(|&(t, _)| t > keep_token)
+        {
+            self.store_fwd[tid].pop_back();
+        }
         squashed += removed.len() as u32;
         let mut replay_rob = std::mem::take(&mut self.replay_buf);
         replay_rob.clear();
@@ -797,6 +1087,8 @@ impl DetailedCore {
             }
             match e.state {
                 InstrState::InQueue => {
+                    // The wakeup record (parked or ready) goes stale in
+                    // place; dropped lazily (see [`IqEntry`]).
                     self.iq_used[e.queue.index()] -= 1;
                     self.iq_per_thread[tid] = self.iq_per_thread[tid].saturating_sub(1);
                 }
@@ -858,7 +1150,10 @@ impl DetailedCore {
     // ----------------------------------------------------------------
 
     fn fetch(&mut self, now: u64, mem: &mut MemoryModel) {
-        self.build_snapshots();
+        if !self.snaps_fresh {
+            self.build_snapshots();
+        }
+        self.snaps_fresh = false;
         let mut prio = std::mem::take(&mut self.prio);
         self.policy.fetch_priority(now, &self.snaps, &mut prio);
         let mut budget = self.cfg.fetch_width;

@@ -162,9 +162,45 @@ impl Rob {
         self.entries.iter_mut()
     }
 
-    /// Find an entry by token.
+    /// Find an entry by token, scanning from the head. Tokens are
+    /// strictly increasing in program order ([`Rob::push`] asserts it),
+    /// so a binary search would also work — but completions and memory
+    /// returns overwhelmingly resolve instructions near the head, where
+    /// a forward linear scan finds them in a couple of probes (measured
+    /// faster than `VecDeque::binary_search_by`'s ~8 scattered ones).
     pub fn find_mut(&mut self, token: u64) -> Option<&mut RobEntry> {
         self.entries.iter_mut().find(|e| e.token == token)
+    }
+
+    /// Index of `token`, by binary search on the strictly-increasing
+    /// token order. The issue stage resolves candidates through this:
+    /// freshly-woken instructions sit near the *tail* of a deep ROB,
+    /// where the head-first scan of [`Rob::find_mut`] degenerates. The
+    /// index stays valid only until the next push/pop/squash.
+    pub fn index_of(&self, token: u64) -> Option<usize> {
+        let (mut lo, mut hi) = (0usize, self.entries.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let t = self.entries[mid].token;
+            if t == token {
+                return Some(mid);
+            } else if t < token {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        None
+    }
+
+    /// Entry at `index` (from [`Rob::index_of`]).
+    pub fn entry_at(&self, index: usize) -> &RobEntry {
+        &self.entries[index]
+    }
+
+    /// Mutable entry at `index` (from [`Rob::index_of`]).
+    pub fn entry_at_mut(&mut self, index: usize) -> &mut RobEntry {
+        &mut self.entries[index]
     }
 
     /// [`find_mut`](Self::find_mut) for tokens the core knows are

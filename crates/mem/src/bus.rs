@@ -68,28 +68,29 @@ impl<T> SharedBus<T> {
     /// D10: the bus ticks inside the cycle loop and must not allocate).
     pub fn tick_into(&mut self, now: u64, out: &mut Vec<BusMsg<T>>) {
         self.ticks += 1;
-        self.queue_len_integral += self
-            .inputs
-            .iter()
-            .map(|q| q.len() as u64)
-            .sum::<u64>();
+        let queued: u64 = self.inputs.iter().map(|q| q.len() as u64).sum();
+        self.queue_len_integral += queued;
 
-        // Round-robin grants.
-        let n = self.inputs.len();
-        let mut grants = 0;
-        let mut scanned = 0;
-        while grants < self.grants_per_cycle && scanned < n {
-            let idx = (self.rr + scanned) % n;
-            if let Some(msg) = self.inputs[idx].pop_front() {
-                self.in_flight.push_back((now + self.latency, msg));
-                self.granted += 1;
-                grants += 1;
-                // Advance RR past the served core for fairness.
-                self.rr = (idx + 1) % n;
-                scanned = 0;
-                continue;
+        // Quiet-bus fast path: with nothing queued the round-robin scan
+        // is a no-op (no grant, no rr movement) — skip it.
+        if queued > 0 {
+            // Round-robin grants.
+            let n = self.inputs.len();
+            let mut grants = 0;
+            let mut scanned = 0;
+            while grants < self.grants_per_cycle && scanned < n {
+                let idx = (self.rr + scanned) % n;
+                if let Some(msg) = self.inputs[idx].pop_front() {
+                    self.in_flight.push_back((now + self.latency, msg));
+                    self.granted += 1;
+                    grants += 1;
+                    // Advance RR past the served core for fairness.
+                    self.rr = (idx + 1) % n;
+                    scanned = 0;
+                    continue;
+                }
+                scanned += 1;
             }
-            scanned += 1;
         }
 
         // Deliveries (in_flight is ordered by deliver_at because latency
@@ -104,6 +105,32 @@ impl<T> SharedBus<T> {
     /// Messages waiting for a grant.
     pub fn queued(&self) -> usize {
         self.inputs.iter().map(|q| q.len()).sum()
+    }
+
+    /// Earliest cycle ≥ `from` at which a tick could do observable
+    /// work: `from` itself while any input awaits a grant, else the
+    /// first in-flight delivery; `u64::MAX` when fully idle (the
+    /// skip-ahead horizon, DESIGN.md §16).
+    pub fn next_event_cycle(&self, from: u64) -> u64 {
+        if self.inputs.iter().any(|q| !q.is_empty()) {
+            return from;
+        }
+        match self.in_flight.front() {
+            Some(&(at, _)) => at.max(from),
+            None => u64::MAX,
+        }
+    }
+
+    /// Account `cycles` ticks elided by skip-ahead. Only the
+    /// [`Self::mean_queue_len`] denominator needs repair: a window is
+    /// only skippable when every input queue is empty, so the queue
+    /// length integral gains exactly zero.
+    pub fn account_skip(&mut self, cycles: u64) {
+        debug_assert!(
+            self.inputs.iter().all(|q| q.is_empty()),
+            "skip-ahead over a bus with queued inputs"
+        );
+        self.ticks += cycles;
     }
 
     /// Messages granted so far.

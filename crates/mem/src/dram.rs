@@ -69,6 +69,19 @@ impl<T> Dram<T> {
         self.in_service.len() + self.waiting.len()
     }
 
+    /// Earliest cycle ≥ `from` at which a tick completes a request:
+    /// the head of `in_service` (ordered by ready-at), `from` when a
+    /// waiter exists without anything in service (defensive — promotion
+    /// happens at completion time, so the state is unreachable through
+    /// ticks), `u64::MAX` when empty (skip-ahead horizon).
+    pub fn next_event_cycle(&self, from: u64) -> u64 {
+        match self.in_service.front() {
+            Some(&(at, _)) => at.max(from),
+            None if !self.waiting.is_empty() => from,
+            None => u64::MAX,
+        }
+    }
+
     /// (accepted, completed).
     pub fn stats(&self) -> (u64, u64) {
         (self.accepted, self.completed)

@@ -335,6 +335,18 @@ impl FastMemory {
         0.0
     }
 
+    /// Skip-ahead horizon: the fast model deliberately pins it to
+    /// `from` (never skippable). Reduced fidelity is already ~5×
+    /// faster and is not byte-pinned to the goldens, so it opts out of
+    /// the skip invariant instead of proving it (DESIGN.md §16).
+    pub fn next_event_cycle(&self, from: u64) -> u64 {
+        from
+    }
+
+    /// Companion of [`Self::next_event_cycle`]; unreachable while the
+    /// horizon pins to `from`, kept for facade symmetry.
+    pub fn account_skip(&mut self, _cycles: u64) {}
+
     /// Completions scheduled but not yet delivered.
     pub fn inflight_count(&self) -> usize {
         self.inflight

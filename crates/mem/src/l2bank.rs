@@ -131,6 +131,25 @@ impl<T: Copy> L2Bank<T> {
         self.current.is_some()
     }
 
+    /// True when a tick would be a pure no-op: port free and nothing
+    /// queued (the quiet-bank fast path skips such banks).
+    pub fn idle(&self) -> bool {
+        self.current.is_none() && self.queue.is_empty()
+    }
+
+    /// Earliest cycle ≥ `from` at which a tick does observable work:
+    /// the in-service completion (ticks before `done_at` neither finish
+    /// nor start anything), `from` itself when a request is queued with
+    /// the port free (the next tick starts it and records its `now`-
+    /// dependent queue delay), `u64::MAX` when idle.
+    pub fn next_event_cycle(&self, from: u64) -> u64 {
+        match &self.current {
+            Some((done_at, _)) => (*done_at).max(from),
+            None if !self.queue.is_empty() => from,
+            None => u64::MAX,
+        }
+    }
+
     /// (serviced, total queue delay, peak queue length).
     pub fn stats(&self) -> (u64, u64, usize) {
         (self.serviced, self.queue_delay_sum, self.queue_peak)

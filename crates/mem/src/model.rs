@@ -124,6 +124,20 @@ impl MemoryModel {
         dispatch!(self, tick(now))
     }
 
+    /// Earliest cycle ≥ `from` at which a tick would do observable
+    /// work, assuming no new accesses arrive (`u64::MAX` = drained).
+    /// The memory half of the stall skip-ahead horizon (DESIGN.md
+    /// §16); the fast fidelity pins it to `from`, opting out of skip.
+    pub fn next_event_cycle(&self, from: u64) -> u64 {
+        dispatch!(self, next_event_cycle(from))
+    }
+
+    /// Account `cycles` ticks elided by skip-ahead (per-cycle counters
+    /// only; event-timed state needs no repair).
+    pub fn account_skip(&mut self, cycles: u64) {
+        dispatch!(self, account_skip(cycles))
+    }
+
     /// Take all completions for `core` (delivered during the most
     /// recent ticks).
     pub fn drain_completions(&mut self, core: u32) -> Vec<Completion> {

@@ -697,6 +697,9 @@ impl MemorySystem {
         // 3. Banks. Completions report the cluster-local bank id (what
         // a core's MCReg file indexes by).
         for b in 0..self.banks.len() {
+            if self.banks[b].idle() {
+                continue; // quiet-bank fast path: a tick would be a pure no-op
+            }
             if self.cfg.faults.pins_bank(b as u32, now) {
                 continue;
             }
@@ -800,6 +803,44 @@ impl MemorySystem {
             }
         }
         self.dram_scratch = dram_done;
+    }
+
+    /// Earliest cycle ≥ `from` at which a [`Self::tick`] would do
+    /// observable work, assuming no new accesses arrive: the next
+    /// release-heap maturity, bus grant or delivery, bank completion,
+    /// or DRAM return. `u64::MAX` means the hierarchy is fully
+    /// drained. This is the memory half of the stall skip-ahead
+    /// horizon (DESIGN.md §16). Completions or events still awaiting a
+    /// core's drain conservatively pin the horizon to `from`.
+    pub fn next_event_cycle(&self, from: u64) -> u64 {
+        if self
+            .cores
+            .iter()
+            .any(|p| !p.outbox.is_empty() || !p.events.is_empty())
+        {
+            return from;
+        }
+        let mut at = match self.release_heap.peek() {
+            Some(Reverse(r)) => r.at.max(from),
+            None => u64::MAX,
+        };
+        for bus in &self.buses {
+            at = at.min(bus.next_event_cycle(from));
+        }
+        for bank in &self.banks {
+            at = at.min(bank.next_event_cycle(from));
+        }
+        at.min(self.dram.next_event_cycle(from))
+    }
+
+    /// Account `cycles` ticks elided by skip-ahead. The only per-cycle
+    /// bookkeeping in the hierarchy is each bus's queue-length
+    /// integral; the release heap, banks and DRAM are purely
+    /// event-timed, so nothing else needs repair.
+    pub fn account_skip(&mut self, cycles: u64) {
+        for bus in &mut self.buses {
+            bus.account_skip(cycles);
+        }
     }
 
     /// Finish the line of `req`: complete all MSHR waiters, refill L1.

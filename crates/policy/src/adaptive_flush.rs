@@ -159,6 +159,13 @@ impl FetchPolicy for AdaptiveFlushPolicy {
     fn on_thread_resumed(&mut self, tid: usize, _cycle: u64) {
         self.state.on_thread_resumed(tid);
     }
+
+    fn next_wake(&self, from: u64) -> u64 {
+        // Two clocks: the epoch boundary (maybe_adjust acts once
+        // `cycle - epoch_start >= epoch`) and the detection machinery.
+        let epoch_at = self.epoch_start.saturating_add(self.cfg.epoch).max(from);
+        epoch_at.min(self.state.next_wake(from))
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,11 @@ impl Default for AdtsPolicy {
 }
 
 impl FetchPolicy for AdtsPolicy {
+    // next_wake deliberately stays at the conservative default (`from`):
+    // tick accumulates epoch samples every cycle, so skipping cycles
+    // would change the averages the switch decision is based on. ADTS
+    // runs therefore never engage stall skip-ahead (DESIGN.md §16).
+
     fn name(&self) -> String {
         "ADTS".into()
     }

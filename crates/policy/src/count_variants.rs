@@ -33,6 +33,11 @@ impl FetchPolicy for BrcountPolicy {
             (s.branches_in_flight, tid as u32)
         });
     }
+
+    fn next_wake(&self, _from: u64) -> u64 {
+        // Stateless: priority is a pure function of the snapshots.
+        u64::MAX
+    }
 }
 
 /// L1DMISSCOUNT (the ISCA'96 "MISSCOUNT"): prioritise threads with the
@@ -106,6 +111,11 @@ impl FetchPolicy for L1dMissCountPolicy {
             self.tracked.swap_remove(i);
             self.bump(tid, -1);
         }
+    }
+
+    fn next_wake(&self, _from: u64) -> u64 {
+        // Purely event-driven: counters change only in the on_* hooks.
+        u64::MAX
     }
 }
 

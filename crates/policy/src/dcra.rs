@@ -111,6 +111,16 @@ impl FetchPolicy for DcraPolicy {
     fn fetch_priority(&mut self, _cycle: u64, snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {
         icount_order(snaps, out);
     }
+
+    fn next_wake(&self, _from: u64) -> u64 {
+        // tick is a pure function of (snaps, gated) and reaches a fixed
+        // point after one application: any Stall/Resume the current
+        // snapshots imply fired on the tick that just ran and flipped
+        // `gated` so the condition no longer holds. With the snapshots
+        // frozen (the core is quiescent during a skipped window) further
+        // ticks are no-ops, so no wake-up is needed.
+        u64::MAX
+    }
 }
 
 #[cfg(test)]

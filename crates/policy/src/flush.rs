@@ -175,6 +175,35 @@ impl DetectionState {
     pub(crate) fn detected(&self) -> &[(usize, LoadToken)] {
         &self.out_scratch
     }
+
+    /// Earliest cycle ≥ `from` at which [`Self::detect`] could fire
+    /// given no intervening load events (skip-ahead horizon; DESIGN.md
+    /// §16). Delay-after-issue: the earliest `issued_at + x` over
+    /// untriggered loads of un-gated threads, clamped forward to `from`
+    /// (an already-overdue load fires on the very next tick).
+    /// Trigger-on-miss only acts on queued miss events: `from` while
+    /// any are pending, never otherwise.
+    pub(crate) fn next_wake(&self, from: u64) -> u64 {
+        match self.trigger {
+            FlushTrigger::DelayAfterIssue(x) => {
+                let mut at = u64::MAX;
+                for l in &self.loads {
+                    if l.triggered || self.gated(l.tid) {
+                        continue;
+                    }
+                    at = at.min(l.issued_at.saturating_add(x));
+                }
+                at.max(from)
+            }
+            FlushTrigger::OnL2Miss => {
+                if self.pending_miss.is_empty() {
+                    u64::MAX
+                } else {
+                    from
+                }
+            }
+        }
+    }
 }
 
 /// The FLUSH policy: detection per [`FlushTrigger`], response = squash +
@@ -256,6 +285,10 @@ impl FetchPolicy for FlushPolicy {
 
     fn on_thread_resumed(&mut self, tid: usize, _cycle: u64) {
         self.state.on_thread_resumed(tid);
+    }
+
+    fn next_wake(&self, from: u64) -> u64 {
+        self.state.next_wake(from)
     }
 }
 

@@ -28,6 +28,12 @@ impl FetchPolicy for IcountPolicy {
     fn fetch_priority(&mut self, _cycle: u64, snaps: &[ThreadSnapshot], out: &mut Vec<usize>) {
         icount_order(snaps, out);
     }
+
+    fn next_wake(&self, _from: u64) -> u64 {
+        // Stateless and event-free: priority is a pure function of the
+        // snapshots, so skipped cycles are unobservable.
+        u64::MAX
+    }
 }
 
 #[cfg(test)]

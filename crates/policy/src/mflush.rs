@@ -477,6 +477,16 @@ impl FetchPolicy for MflushPolicy {
         // eligible again: force the next tick to scan.
         self.next_deadline = 0;
     }
+
+    fn next_wake(&self, from: u64) -> u64 {
+        // The tick's own early-return already encodes the schedule:
+        // pending resumes fire next cycle, otherwise nothing happens
+        // before `next_deadline` (maintained by every event hook).
+        if !self.pending_resumes.is_empty() {
+            return from;
+        }
+        self.next_deadline.max(from)
+    }
 }
 
 #[cfg(test)]

@@ -202,6 +202,16 @@ impl FetchPolicy for MissPredictFlushPolicy {
     fn on_thread_resumed(&mut self, tid: usize, _cycle: u64) {
         self.set_gated(tid, false);
     }
+
+    fn next_wake(&self, from: u64) -> u64 {
+        // tick only drains prediction-queued flushes; with none pending
+        // it is a no-op until the next on_l1d_miss.
+        if self.pending.is_empty() {
+            u64::MAX
+        } else {
+            from
+        }
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,20 @@ impl FetchPolicy for RoundRobinPolicy {
         out.extend(snaps.iter().cycle().skip(start).take(n).map(|s| s.tid));
         self.offset = (self.offset + 1) % n;
     }
+
+    fn next_wake(&self, _from: u64) -> u64 {
+        // The rotation is per-fetch_priority-call state; skipped cycles
+        // are repaid in on_cycles_skipped, so no wake-up is needed.
+        u64::MAX
+    }
+
+    fn on_cycles_skipped(&mut self, _from: u64, cycles: u64) {
+        // fetch_priority runs once per simulated cycle in an unskipped
+        // run; advance the rotation by the cycles it never saw. The
+        // use-site reduces `offset % n`, so wrapping addition matches
+        // the per-call `(offset + 1) % n` exactly.
+        self.offset = self.offset.wrapping_add(cycles as usize);
+    }
 }
 
 #[cfg(test)]

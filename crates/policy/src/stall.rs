@@ -110,6 +110,13 @@ impl FetchPolicy for StallPolicy {
     fn on_thread_resumed(&mut self, tid: usize, _cycle: u64) {
         self.state.on_thread_resumed(tid);
     }
+
+    fn next_wake(&self, from: u64) -> u64 {
+        if !self.pending_resume.is_empty() {
+            return from;
+        }
+        self.state.next_wake(from)
+    }
 }
 
 fn match_trigger_name(state: &DetectionState) -> String {

@@ -132,6 +132,27 @@ pub trait FetchPolicy: Send {
 
     /// A flushed thread's offending load completed; the core un-gated it.
     fn on_thread_resumed(&mut self, _tid: usize, _cycle: u64) {}
+
+    /// Earliest cycle ≥ `from` at which [`FetchPolicy::tick`] could emit
+    /// an action or mutate observable state, given that every cycle
+    /// before `from` has been ticked and assuming *no* `on_*` hook fires
+    /// first (any hook re-arms the schedule, and the simulator
+    /// re-evaluates every cycle it actually ticks). Returning `u64::MAX`
+    /// means "pure until the next event". The conservative default
+    /// (`from` itself) declares a possible side effect every cycle,
+    /// which disables stall skip-ahead for the whole core — correct for
+    /// any policy, merely slow (see DESIGN.md §16 for the skip-ahead
+    /// invariant this feeds).
+    fn next_wake(&self, from: u64) -> u64 {
+        from
+    }
+
+    /// The simulator skipped `cycles` cycles starting at `from` (no
+    /// tick/fetch_priority calls were made for them). Policies whose state
+    /// advances once per *call* rather than per *cycle* (e.g. round-robin
+    /// rotation) compensate here so skipped runs stay byte-identical to
+    /// unskipped ones. Pure-per-cycle policies need nothing.
+    fn on_cycles_skipped(&mut self, _from: u64, _cycles: u64) {}
 }
 
 /// Sort thread ids by ICOUNT order: fewest pre-issue instructions first
